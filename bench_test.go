@@ -1,0 +1,78 @@
+package smartwatch_test
+
+// One testing.B benchmark per table and figure of the paper's evaluation.
+// Each benchmark runs the corresponding experiment harness (the same code
+// cmd/experiments uses); the wall-clock measured is the simulator's own
+// cost, while the experiment's Table carries the modelled figures the
+// paper plots. benchScale keeps single iterations tractable; regenerate
+// full-scale outputs with `go run ./cmd/experiments all`.
+
+import (
+	"io"
+	"testing"
+
+	"smartwatch"
+	"smartwatch/internal/experiments"
+)
+
+const benchScale = 0.1
+
+// run executes an experiment b.N times, rendering to io.Discard so table
+// formatting is included in the measured cost.
+func run(b *testing.B, fn func(float64) *experiments.Table) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tb := fn(benchScale)
+		if _, err := tb.WriteTo(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+		if len(tb.Rows) == 0 {
+			b.Fatalf("%s produced no rows", tb.ID)
+		}
+	}
+}
+
+func BenchmarkFig2SwitchState(b *testing.B)  { run(b, experiments.Fig2SwitchState) }
+func BenchmarkFig3Scaling(b *testing.B)      { run(b, experiments.Fig3Scaling) }
+func BenchmarkFig4LatencyDist(b *testing.B)  { run(b, experiments.Fig4LatencyDist) }
+func BenchmarkFig5Policies(b *testing.B)     { run(b, experiments.Fig5Policies) }
+func BenchmarkFig6Throughput(b *testing.B)   { run(b, experiments.Fig6Throughput) }
+func BenchmarkFig7HostOverhead(b *testing.B) { run(b, experiments.Fig7HostOverhead) }
+func BenchmarkFig8aSSH(b *testing.B)         { run(b, experiments.Fig8aSSHLatency) }
+func BenchmarkFig8bRST(b *testing.B)         { run(b, experiments.Fig8bForgedRST) }
+func BenchmarkFig8cPortScan(b *testing.B)    { run(b, experiments.Fig8cPortScan) }
+func BenchmarkFig9aCovert(b *testing.B)      { run(b, experiments.Fig9aCovertROC) }
+func BenchmarkFig9bFingerprint(b *testing.B) { run(b, experiments.Fig9bFingerprint) }
+func BenchmarkFig10Volumetric(b *testing.B) {
+	run(b, func(float64) *experiments.Table { return experiments.Fig10Volumetric(0.03) })
+}
+func BenchmarkFig11aMicroburst(b *testing.B) { run(b, experiments.Fig11aMicroburst) }
+func BenchmarkFig11bThroughput(b *testing.B) { run(b, experiments.Fig11bThroughput) }
+func BenchmarkTable2Resources(b *testing.B)  { run(b, experiments.Table2Resources) }
+func BenchmarkTable3NICs(b *testing.B)       { run(b, experiments.Table3NICs) }
+func BenchmarkTable4Detection(b *testing.B)  { run(b, experiments.Table4Detection) }
+
+// BenchmarkPlatformPipeline measures the end-to-end public-API pipeline:
+// background traffic through the assembled platform (switch + sNIC + host)
+// per packet.
+func BenchmarkPlatformPipeline(b *testing.B) {
+	w := smartwatch.NewWorkload(smartwatch.WorkloadConfig{
+		Seed: 1, Flows: 5000, PacketRate: 2e6, Duration: 1e12,
+	})
+	pl := smartwatch.New(smartwatch.Config{IntervalNs: 100e6})
+	b.ResetTimer()
+	n := int64(0)
+	pl.Run(func(yield func(smartwatch.Packet) bool) {
+		for p := range w.Stream() {
+			if n >= int64(b.N) {
+				return
+			}
+			n++
+			if !yield(p) {
+				return
+			}
+		}
+	})
+}
+
+func BenchmarkAblations(b *testing.B) { run(b, experiments.Ablations) }

@@ -1,0 +1,90 @@
+// Command experiments regenerates the tables and figures of the
+// SmartWatch paper's evaluation section.
+//
+// Usage:
+//
+//	experiments [-scale S] all
+//	experiments [-scale S] fig2 fig5 table4 ...
+//	experiments list
+//
+// Scale 1 reproduces the workload sizes used for EXPERIMENTS.md; smaller
+// values run proportionally faster. Output is plain text, one table per
+// experiment, on stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"smartwatch/internal/experiments"
+)
+
+var registry = map[string]func(float64) *experiments.Table{
+	"fig2":      experiments.Fig2SwitchState,
+	"fig3":      experiments.Fig3Scaling,
+	"fig4":      experiments.Fig4LatencyDist,
+	"fig5":      experiments.Fig5Policies,
+	"fig6":      experiments.Fig6Throughput,
+	"fig7":      experiments.Fig7HostOverhead,
+	"fig8a":     experiments.Fig8aSSHLatency,
+	"fig8b":     experiments.Fig8bForgedRST,
+	"fig8c":     experiments.Fig8cPortScan,
+	"fig9a":     experiments.Fig9aCovertROC,
+	"fig9b":     experiments.Fig9bFingerprint,
+	"fig10":     experiments.Fig10Volumetric,
+	"fig11a":    experiments.Fig11aMicroburst,
+	"fig11b":    experiments.Fig11bThroughput,
+	"table2":    experiments.Table2Resources,
+	"ablations": experiments.Ablations,
+	"table3":    experiments.Table3NICs,
+	"table4":    experiments.Table4Detection,
+}
+
+func names() []string {
+	out := make([]string, 0, len(registry))
+	for k := range registry {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "workload scale factor (1 = EXPERIMENTS.md sizes)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: experiments [-scale S] all | list | <id>...\nids: %v\n", names())
+	}
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if args[0] == "list" {
+		for _, n := range names() {
+			fmt.Println(n)
+		}
+		return
+	}
+	ids := args
+	if args[0] == "all" {
+		ids = names()
+	}
+	for _, id := range ids {
+		fn, ok := registry[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (try: experiments list)\n", id)
+			os.Exit(2)
+		}
+		start := time.Now()
+		tb := fn(*scale)
+		if _, err := tb.WriteTo(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,189 @@
+// Command smartwatch runs the full monitoring platform over a pcap trace
+// (e.g. one produced by tracegen) and prints the detection report: alerts,
+// traffic split across the three tiers, FlowCache statistics, and the
+// flow-log summary.
+//
+// Example:
+//
+//	tracegen -out mix.pcap -preset caida2018 -attack ssh-bruteforce -duration 500ms
+//	smartwatch -in mix.pcap -switch -detectors ssh,portscan,rst
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"smartwatch/internal/core"
+	"smartwatch/internal/detect"
+	"smartwatch/internal/flowcache"
+	"smartwatch/internal/host"
+	"smartwatch/internal/p4switch"
+	"smartwatch/internal/packet"
+	"smartwatch/internal/pcap"
+	"smartwatch/internal/trace"
+)
+
+func main() {
+	var (
+		in         = flag.String("in", "", "input pcap trace (required)")
+		useSwitch  = flag.Bool("switch", false, "enable the P4 switch tier (coarse queries + steering)")
+		detectors  = flag.String("detectors", "ssh,portscan,rst,incomplete,dns,worm,ssl", "comma-separated detectors: ssh,ftp,kerberos,portscan,rst,incomplete,dns,worm,ssl,microburst")
+		intervalMs = flag.Int("interval", 100, "monitoring interval (virtual ms)")
+		rowBits    = flag.Int("rowbits", 14, "FlowCache rows = 2^rowbits (x12 buckets)")
+		verbose    = flag.Bool("v", false, "print every alert")
+		ipfixOut   = flag.String("ipfix", "", "export the flow log as IPFIX to this file")
+		emitP4     = flag.String("emit-p4", "", "write the switch query set as a P4-16 program to this file (requires -switch)")
+	)
+	flag.Parse()
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	r, err := pcap.NewReader(f)
+	if err != nil {
+		fatal(err)
+	}
+
+	dets, err := buildDetectors(*detectors)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := core.Config{
+		IntervalNs: int64(*intervalMs) * 1e6,
+		Detectors:  dets,
+	}
+	if *rowBits > 0 {
+		cfg.Cache = flowcache.DefaultConfig(*rowBits)
+	}
+	if *useSwitch {
+		cfg.EnableSwitch = true
+		cfg.Queries = defaultQueries()
+	}
+	pl := core.New(cfg)
+
+	rep := pl.Run(pcap.ReadStream(r))
+
+	fmt.Printf("packets: total=%d forwarded-direct=%d to-snic=%d to-host=%d blocked=%d dropped-at-switch=%d\n",
+		rep.Counts.Total, rep.Counts.ForwardedDirect, rep.Counts.ToSNIC,
+		rep.Counts.ToHost, rep.Counts.Blocked, rep.Counts.DroppedAtSwitch)
+	fmt.Printf("flowcache: processed=%d hit-rate=%.3f evictions=%d host-punts=%d mode-switchovers=%d\n",
+		rep.Cache.Processed(), rep.Cache.HitRate(), rep.Cache.Evictions, rep.Cache.HostPunts, rep.Switchovers)
+	fmt.Printf("snic: achieved=%.2f Mpps p50-latency=%.0f ns p99=%.0f ns loss=%.4f\n",
+		rep.SNIC.AchievedMpps, rep.SNIC.Latency.Percentile(50), rep.SNIC.Latency.Percentile(99), rep.SNIC.LossRate())
+	fmt.Printf("host: cpu=%.2f ms flow-log-intervals=%d\n", rep.HostCPUNs/1e6, len(pl.KV().Intervals()))
+	if rep.SwitchStats.Intervals > 0 {
+		fmt.Printf("switch: steered=%d whitelist-hits=%d blacklist-drops=%d\n",
+			rep.SwitchStats.Steered, rep.SwitchStats.WhitelistHits, rep.SwitchStats.BlacklistHits)
+	}
+	fmt.Printf("alerts: %d\n", len(rep.Alerts))
+	byDet := map[string]int{}
+	for _, a := range rep.Alerts {
+		byDet[a.Detector]++
+		if *verbose {
+			fmt.Println("  ", a)
+		}
+	}
+	for name, n := range byDet {
+		fmt.Printf("  %-20s %d\n", name, n)
+	}
+	if skipped := r.Skipped(); skipped > 0 {
+		fmt.Fprintf(os.Stderr, "note: %d undecodable frames skipped\n", skipped)
+	}
+
+	if *ipfixOut != "" {
+		out, err := os.Create(*ipfixOut)
+		if err != nil {
+			fatal(err)
+		}
+		exp := host.NewIPFIXExporter(out, 1)
+		if err := exp.ExportKV(pl.KV()); err != nil {
+			fatal(err)
+		}
+		if err := out.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "flow log exported as IPFIX to %s\n", *ipfixOut)
+	}
+	if *emitP4 != "" {
+		if pl.Switch() == nil {
+			fatal(fmt.Errorf("-emit-p4 requires -switch"))
+		}
+		src := pl.Switch().EmitP4("smartwatch") + "\n// Control-plane entries at end of run:\n"
+		for _, e := range pl.Switch().ControlPlaneEntries() {
+			src += "// " + e + "\n"
+		}
+		if err := os.WriteFile(*emitP4, []byte(src), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "P4 program written to %s\n", *emitP4)
+	}
+}
+
+func buildDetectors(list string) ([]detect.Detector, error) {
+	var out []detect.Detector
+	for _, name := range strings.Split(list, ",") {
+		switch strings.TrimSpace(name) {
+		case "":
+		case "ssh":
+			out = append(out, detect.NewBruteForce(detect.BruteForceConfig{Service: trace.PortSSH}))
+		case "ftp":
+			out = append(out, detect.NewBruteForce(detect.BruteForceConfig{Service: trace.PortFTP}))
+		case "kerberos":
+			out = append(out, detect.NewBruteForce(detect.BruteForceConfig{Service: trace.PortKerberos}))
+		case "portscan":
+			out = append(out, detect.NewPortScan(detect.PortScanConfig{}))
+		case "rst":
+			out = append(out, detect.NewForgedRST(detect.ForgedRSTConfig{}))
+		case "incomplete":
+			out = append(out, detect.NewIncomplete(0, 0, nil))
+		case "dns":
+			out = append(out, detect.NewDNSAmplification(0, 0))
+		case "worm":
+			out = append(out, detect.NewWorm(0, 0))
+		case "ssl":
+			out = append(out, detect.NewSSLExpiry(0))
+		case "microburst":
+			out = append(out, detect.NewMicroburst(0, 0))
+		default:
+			return nil, fmt.Errorf("unknown detector %q", name)
+		}
+	}
+	return out, nil
+}
+
+// defaultQueries is the standing coarse query set the control loop starts
+// from when the switch tier is enabled.
+func defaultQueries() []p4switch.Query {
+	return []p4switch.Query{
+		{
+			Name:   "ssh-conns",
+			Filter: p4switch.Predicate{Proto: packet.ProtoTCP, ServicePort: trace.PortSSH},
+			Key:    p4switch.KeyDstIP, PrefixBits: 16,
+			Reduce: p4switch.CountSYN, Threshold: 5, Slots: 1 << 12,
+		},
+		{
+			Name:   "syn-fanout",
+			Filter: p4switch.Predicate{Proto: packet.ProtoTCP},
+			Key:    p4switch.KeyDstIP, PrefixBits: 16,
+			Reduce: p4switch.CountSYN, Threshold: 50, Slots: 1 << 12,
+		},
+		{
+			Name:   "rst-burst",
+			Filter: p4switch.Predicate{Proto: packet.ProtoTCP},
+			Key:    p4switch.KeyDstIP, PrefixBits: 16,
+			Reduce: p4switch.CountRST, Threshold: 10, Slots: 1 << 12,
+		},
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "smartwatch:", err)
+	os.Exit(1)
+}

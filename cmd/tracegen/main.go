@@ -1,0 +1,137 @@
+// Command tracegen writes synthetic evaluation traces as standard pcap
+// files: CAIDA-like backbone backgrounds, the Wisconsin-style datacenter
+// mix, and any of the paper's attacks, optionally merged over a
+// background — the editcap/mergecap/tcprewrite pipeline in one tool.
+//
+// Examples:
+//
+//	tracegen -out bg.pcap -preset caida2018 -duration 1s
+//	tracegen -out attack.pcap -attack ssh-bruteforce
+//	tracegen -out mix.pcap -preset dc -attack portscan -snaplen 64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"smartwatch/internal/packet"
+	"smartwatch/internal/pcap"
+	"smartwatch/internal/trace"
+)
+
+func main() {
+	var (
+		out      = flag.String("out", "", "output pcap path (required)")
+		preset   = flag.String("preset", "", "background preset: caida2015|caida2016|caida2018|caida2019|dc")
+		attack   = flag.String("attack", "", "attack to inject: ssh-bruteforce|ftp-bruteforce|kerberos|portscan|forged-rst|slowloris|dns-amplification|covert-timing|fingerprint|microburst|worm|ssl-expiry|tcp-incomplete")
+		duration = flag.Duration("duration", 0, "override background duration (e.g. 500ms)")
+		seed     = flag.Uint64("seed", 1, "generator seed")
+		snaplen  = flag.Int("snaplen", 0, "truncate capture length (e.g. 64 for stress traces)")
+		shift    = flag.Duration("shift", 0, "timestamp-shift the attack before merging")
+		meta     = flag.Bool("meta", true, "embed application metadata TLVs (auth outcomes, cert expiry)")
+	)
+	flag.Parse()
+	if *out == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var streams []packet.Stream
+	if *preset != "" {
+		w, err := background(*preset, *seed, int64(*duration))
+		if err != nil {
+			fatal(err)
+		}
+		streams = append(streams, w.Stream())
+	}
+	if *attack != "" {
+		s, err := attackStream(*attack, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		if *shift != 0 {
+			s = pcap.Shift(s, int64(*shift))
+		}
+		streams = append(streams, s)
+	}
+	if len(streams) == 0 {
+		fatal(fmt.Errorf("nothing to generate: pass -preset and/or -attack"))
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	w := pcap.NewWriter(f, pcap.WriterConfig{
+		SnapLen: *snaplen,
+		Encode:  packet.EncodeOptions{EmbedMeta: *meta},
+	})
+	if err := pcap.WriteStream(w, pcap.Merge(streams...)); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d packets to %s\n", w.Count(), *out)
+}
+
+func background(preset string, seed uint64, durationNs int64) (*trace.Workload, error) {
+	var w *trace.Workload
+	switch preset {
+	case "caida2015":
+		w = trace.CAIDA(2015)
+	case "caida2016":
+		w = trace.CAIDA(2016)
+	case "caida2018":
+		w = trace.CAIDA(2018)
+	case "caida2019":
+		w = trace.CAIDA(2019)
+	case "dc":
+		w = trace.WisconsinDC()
+	default:
+		return nil, fmt.Errorf("unknown preset %q", preset)
+	}
+	cfg := w.Config()
+	cfg.Seed = seed
+	if durationNs > 0 {
+		cfg.Duration = durationNs
+	}
+	return trace.NewWorkload(cfg), nil
+}
+
+func attackStream(name string, seed uint64) (packet.Stream, error) {
+	switch name {
+	case "ssh-bruteforce":
+		return trace.BruteForce(trace.BruteForceConfig{Seed: seed}).Stream(), nil
+	case "ftp-bruteforce":
+		return trace.BruteForce(trace.BruteForceConfig{Seed: seed, Port: trace.PortFTP}).Stream(), nil
+	case "kerberos":
+		return trace.Kerberos(trace.KerberosConfig{Seed: seed}).Stream(), nil
+	case "portscan":
+		return trace.PortScan(trace.PortScanConfig{Seed: seed}).Stream(), nil
+	case "forged-rst":
+		return trace.ForgedRST(trace.ForgedRSTConfig{Seed: seed, ForgedFraction: 0.5}).Stream(), nil
+	case "slowloris":
+		return trace.Slowloris(trace.SlowlorisConfig{Seed: seed}).Stream(), nil
+	case "dns-amplification":
+		return trace.DNSAmplification(trace.DNSAmplificationConfig{Seed: seed}).Stream(), nil
+	case "covert-timing":
+		return trace.CovertTiming(trace.CovertTimingConfig{Seed: seed}).Stream(), nil
+	case "fingerprint":
+		return trace.Fingerprint(trace.FingerprintConfig{Seed: seed}).Stream(), nil
+	case "microburst":
+		return trace.Microburst(trace.MicroburstConfig{Seed: seed}).Stream(), nil
+	case "worm":
+		return trace.Worm(trace.WormConfig{Seed: seed}).Stream(), nil
+	case "ssl-expiry":
+		return trace.SSLExpiry(trace.SSLExpiryConfig{Seed: seed}).Stream(), nil
+	case "tcp-incomplete":
+		return trace.Incomplete(trace.IncompleteConfig{Seed: seed}).Stream(), nil
+	default:
+		return nil, fmt.Errorf("unknown attack %q", name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module smartwatch
+
+go 1.23

@@ -1,0 +1,345 @@
+// Package core assembles the SmartWatch platform: the P4 switch tier
+// steering suspicious subsets, the simulated sNIC running the FlowCache
+// and in-line detectors, the host tier aggregating flow logs and running
+// NFs, and the control loop closing the system (query firing -> steering,
+// detector verdicts -> whitelist/blacklist, arrival rate -> FlowCache mode
+// switchovers).
+package core
+
+import (
+	"smartwatch/internal/detect"
+	"smartwatch/internal/flowcache"
+	"smartwatch/internal/host"
+	"smartwatch/internal/p4switch"
+	"smartwatch/internal/packet"
+	"smartwatch/internal/snic"
+)
+
+// Config assembles a platform.
+type Config struct {
+	// Cache is the FlowCache layout (DefaultConfig(rowBits) if zero).
+	Cache flowcache.Config
+	// Controller tunes the General/Lite switchover (Alg. 4).
+	Controller flowcache.ControllerConfig
+	// SNIC is the datapath simulation config.
+	SNIC snic.Config
+	// EnableSwitch turns the P4 switch tier on; without it every packet
+	// goes through the sNIC (the "SmartWatch (No P4Switch)" deployment of
+	// Fig. 3).
+	EnableSwitch bool
+	// Switch sizes the switch resources.
+	Switch p4switch.Config
+	// Queries is the initial switch query set.
+	Queries []p4switch.Query
+	// IntervalNs is the monitoring interval (paper: 5 s; experiments use
+	// shorter virtual intervals).
+	IntervalNs int64
+	// TickNs is the detector/CME timer period.
+	TickNs int64
+	// HostCost is the host CPU cost model.
+	HostCost host.CostModel
+	// Detectors are the in-line detectors to run.
+	Detectors []detect.Detector
+	// KVLog optionally persists interval flushes (see host.NewKVStore).
+	KVLog *host.KVStore
+}
+
+// Platform is one assembled SmartWatch instance.
+type Platform struct {
+	cfg       Config
+	cache     *flowcache.Cache
+	ctl       *flowcache.Controller
+	sw        *p4switch.Switch
+	tracker   *p4switch.Tracker
+	store     *host.FlowStore
+	kv        *host.KVStore
+	ports     *host.Ports
+	detectors *detect.Chain
+	alerts    []detect.Alert
+
+	nextInterval int64
+	nextTick     int64
+	counts       Counts
+}
+
+// Counts aggregates platform-level packet accounting.
+type Counts struct {
+	// Total packets offered to the platform.
+	Total uint64
+	// ForwardedDirect bypassed the sNIC entirely (switch fast path).
+	ForwardedDirect uint64
+	// DroppedAtSwitch were blacklisted.
+	DroppedAtSwitch uint64
+	// ToSNIC entered the bump-in-the-wire path.
+	ToSNIC uint64
+	// ToHost were additionally processed by a host NF.
+	ToHost uint64
+	// Blocked were consumed by an IPS verdict on the sNIC.
+	Blocked uint64
+	// Intervals completed.
+	Intervals uint64
+}
+
+// New assembles a platform.
+func New(cfg Config) *Platform {
+	if cfg.Cache.RowBits == 0 {
+		cfg.Cache = flowcache.DefaultConfig(12)
+	}
+	if cfg.SNIC.Profile.ClockHz == 0 {
+		cfg.SNIC = snic.DefaultConfig()
+	}
+	if cfg.IntervalNs <= 0 {
+		cfg.IntervalNs = 100e6
+	}
+	if cfg.TickNs <= 0 {
+		cfg.TickNs = cfg.IntervalNs / 10
+	}
+	pl := &Platform{cfg: cfg}
+	pl.cache = flowcache.New(cfg.Cache)
+	pl.ctl = flowcache.NewController(pl.cache, cfg.Controller)
+	pl.store = host.NewFlowStore(cfg.HostCost)
+	pl.kv = cfg.KVLog
+	if pl.kv == nil {
+		pl.kv = host.NewKVStore(nil)
+	}
+	pl.ports = host.NewPorts(pl.store)
+	pl.detectors = detect.NewChain(cfg.Detectors...)
+	if cfg.EnableSwitch {
+		if cfg.Switch.SRAMBytes == 0 {
+			cfg.Switch = p4switch.DefaultConfig()
+		}
+		pl.sw = p4switch.New(cfg.Switch)
+		if len(cfg.Queries) > 0 {
+			if err := pl.sw.InstallQueries(cfg.Queries); err != nil {
+				panic(err)
+			}
+		}
+		pl.tracker = p4switch.NewTracker(cfg.Queries, 0)
+	}
+	pl.nextInterval = cfg.IntervalNs
+	pl.nextTick = cfg.TickNs
+	return pl
+}
+
+// Cache exposes the FlowCache (experiments, examples).
+func (pl *Platform) Cache() *flowcache.Cache { return pl.cache }
+
+// Switch exposes the P4 switch tier (nil when disabled).
+func (pl *Platform) Switch() *p4switch.Switch { return pl.sw }
+
+// Store exposes the host flow store.
+func (pl *Platform) Store() *host.FlowStore { return pl.store }
+
+// KV exposes the flow log.
+func (pl *Platform) KV() *host.KVStore { return pl.kv }
+
+// Ports exposes the host NF ports for attaching functions.
+func (pl *Platform) Ports() *host.Ports { return pl.ports }
+
+// Controller exposes the FlowCache mode controller.
+func (pl *Platform) Controller() *flowcache.Controller { return pl.ctl }
+
+// Hooks implementation for detectors -------------------------------------
+
+// Unpin implements detect.Hooks.
+func (pl *Platform) Unpin(k packet.FlowKey) { pl.cache.Unpin(k) }
+
+// Whitelist implements detect.Hooks: benign flows bypass steering at the
+// switch and release their sNIC pin.
+func (pl *Platform) Whitelist(k packet.FlowKey) {
+	if pl.sw != nil {
+		_ = pl.sw.Whitelist(k) // a full table only costs the fast path
+	}
+	pl.cache.Unpin(k)
+}
+
+// Blacklist implements detect.Hooks.
+func (pl *Platform) Blacklist(a packet.Addr) {
+	if pl.sw != nil {
+		pl.sw.Blacklist(a)
+	}
+}
+
+// -------------------------------------------------------------------------
+
+// maybeTick runs timer work due at or before ts.
+func (pl *Platform) maybeTick(ts int64) {
+	for ts >= pl.nextTick {
+		pl.detectors.Tick(pl.nextTick)
+		pl.alerts = append(pl.alerts, pl.detectors.Drain()...)
+		pl.nextTick += pl.cfg.TickNs
+	}
+	for ts >= pl.nextInterval {
+		pl.endInterval(pl.nextInterval)
+		pl.nextInterval += pl.cfg.IntervalNs
+	}
+}
+
+// endInterval is the control-loop heartbeat: close switch queries, steer
+// fired subsets, drain the sNIC rings, flush the flow log.
+func (pl *Platform) endInterval(ts int64) {
+	pl.counts.Intervals++
+	if pl.sw != nil && pl.tracker != nil {
+		fired := pl.sw.EndInterval(pl.tracker.Candidates())
+		for _, fk := range fired {
+			if err := pl.sw.Steer(fk); err != nil {
+				break // SRAM exhausted; coarser queries needed
+			}
+		}
+	}
+	pl.store.DrainRings(pl.cache.Rings())
+	pl.ports.Tick(ts)
+	_ = pl.kv.FlushInterval(ts, pl.store)
+}
+
+// handler is the sNIC application logic: FlowCache update, detector fan
+// out, reaction application.
+func (pl *Platform) handler(p *packet.Packet, ctx snic.Ctx) snic.Cost {
+	pl.ctl.Observe(p.Ts, 1) // CME rate tracking (Alg. 4)
+	rec, res := pl.cache.Process(p)
+	if rec == nil && res.Outcome == flowcache.HostPunt {
+		// No sNIC record possible: the host takes the packet whole.
+		pl.ports.Deliver(p)
+		pl.counts.ToHost++
+	}
+	r := pl.detectors.OnPacket(p, rec, ctx)
+	cost := snic.Cost{Reads: res.Reads, Writes: res.Writes, ExtraCycles: r.ExtraCycles}
+	k := p.Key()
+	if r.Pin {
+		pl.cache.Pin(k)
+	}
+	if r.Unpin {
+		pl.cache.Unpin(k)
+	}
+	if r.Whitelist {
+		pl.Whitelist(k)
+	}
+	if r.BlacklistSrc {
+		pl.Blacklist(p.Tuple.SrcIP)
+	}
+	if r.ToHost {
+		pl.ports.Deliver(p)
+		pl.counts.ToHost++
+	}
+	if r.DropPacket {
+		cost.Drop = true
+		pl.counts.Blocked++
+	}
+	return cost
+}
+
+// Report is a full platform run summary.
+type Report struct {
+	Counts Counts
+	SNIC   snic.Report
+	Cache  flowcache.Stats
+	Alerts []detect.Alert
+	// SwitchStats is zero-valued when the switch tier is disabled.
+	SwitchStats p4switch.SwitchStats
+	// HostCPUNs is the modelled host CPU time consumed.
+	HostCPUNs float64
+	// Switchovers counts FlowCache mode flips.
+	Switchovers uint64
+}
+
+// Run replays the stream through the full platform and returns the
+// report. Each call continues from the platform's current state, so
+// multi-interval experiments can call Run repeatedly with consecutive
+// trace segments. Each Run ends with a flow-log flush that snapshots the
+// records still resident in the FlowCache under that flush's interval
+// timestamp; per-interval analytics are exact, and the final flush of a
+// monitoring session is the authoritative lossless aggregate.
+func (pl *Platform) Run(s packet.Stream) Report {
+	engine := snic.New(pl.cfg.SNIC, pl.handler)
+	filtered := func(yield func(packet.Packet) bool) {
+		for p := range s {
+			pl.counts.Total++
+			pl.maybeTick(p.Ts)
+			if pl.sw != nil {
+				pl.tracker.Observe(&p)
+				switch pl.sw.Process(&p) {
+				case p4switch.Forward:
+					pl.counts.ForwardedDirect++
+					continue
+				case p4switch.Drop:
+					pl.counts.DroppedAtSwitch++
+					continue
+				}
+			}
+			pl.counts.ToSNIC++
+			if !yield(p) {
+				return
+			}
+		}
+	}
+	rep := engine.Run(filtered)
+	// Final interval close, then the lossless flow-log flush: every record
+	// still resident in the FlowCache is exported exactly once, so evicted
+	// epochs plus the final snapshot account for every processed packet.
+	// (Real deployments export per-interval snapshot deltas; the aggregate
+	// is identical.)
+	pl.maybeTick(pl.nextInterval)
+	pl.alerts = append(pl.alerts, pl.detectors.Drain()...)
+	pl.store.DrainRings(pl.cache.Rings())
+	pl.cache.Snapshot(func(r flowcache.Record) bool {
+		pl.store.Ingest(r)
+		return true
+	})
+	_ = pl.kv.FlushInterval(pl.nextInterval, pl.store)
+
+	out := Report{
+		Counts: pl.counts, SNIC: rep, Cache: pl.cache.Stats(),
+		Alerts:      pl.alerts,
+		HostCPUNs:   pl.store.CPUNs(),
+		Switchovers: pl.ctl.Switchovers(),
+	}
+	if pl.sw != nil {
+		out.SwitchStats = pl.sw.Stats()
+	}
+	return out
+}
+
+// Alerts returns everything raised so far.
+func (pl *Platform) Alerts() []detect.Alert { return pl.alerts }
+
+// WhitelistTopK installs switch whitelist entries for the K heaviest
+// unflagged flows currently resident in the FlowCache — the hoverboard
+// heuristic of §3.1 (Fig. 2's x-axis knob). It returns how many entries
+// were installed.
+func (pl *Platform) WhitelistTopK(k int, isMalicious func(packet.FlowKey) bool) int {
+	if pl.sw == nil || k <= 0 {
+		return 0
+	}
+	type cand struct {
+		key  packet.FlowKey
+		pkts uint64
+	}
+	var cands []cand
+	pl.cache.Snapshot(func(r flowcache.Record) bool {
+		if isMalicious == nil || !isMalicious(r.Key) {
+			cands = append(cands, cand{r.Key, r.Pkts})
+		}
+		return true
+	})
+	// Partial selection of the top k.
+	if k > len(cands) {
+		k = len(cands)
+	}
+	for i := 0; i < k; i++ {
+		maxI := i
+		for j := i + 1; j < len(cands); j++ {
+			if cands[j].pkts > cands[maxI].pkts {
+				maxI = j
+			}
+		}
+		cands[i], cands[maxI] = cands[maxI], cands[i]
+	}
+	installed := 0
+	for i := 0; i < k; i++ {
+		if err := pl.sw.Whitelist(cands[i].key); err != nil {
+			break
+		}
+		installed++
+	}
+	return installed
+}

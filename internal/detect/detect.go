@@ -1,0 +1,149 @@
+// Package detect implements the fifteen attack detectors of the
+// SmartWatch evaluation (Table 2): the in-line sNIC detectors (port scan,
+// forged RST, DNS amplification, microbursts, worms, covert timing
+// channels, website fingerprinting, certificate expiry), the Zeek-style
+// host-assisted brute-force detectors (SSH, FTP, Kerberos), and the
+// offline flow-log analytics (heavy hitters, heavy changes, cardinality,
+// flow-size estimation, Slowloris).
+//
+// Every in-line detector implements Detector: it observes packets together
+// with their FlowCache records, requests reactions (pinning, host punts,
+// whitelisting, blacklisting), and emits Alerts. The platform in
+// internal/core interprets the reactions against the cache, the host NFs
+// and the switch control loop.
+package detect
+
+import (
+	"fmt"
+
+	"smartwatch/internal/flowcache"
+	"smartwatch/internal/packet"
+	"smartwatch/internal/snic"
+)
+
+// Alert is one detection event.
+type Alert struct {
+	// Detector names the source detector.
+	Detector string
+	// Ts is the detection time (virtual ns).
+	Ts int64
+	// Attacker / Victim are the implicated endpoints (zero when not
+	// applicable).
+	Attacker, Victim packet.Addr
+	// Flow is the implicated session (zero when the alert is host-level).
+	Flow packet.FlowKey
+	// Info is a short human-readable explanation.
+	Info string
+}
+
+// String renders the alert.
+func (a Alert) String() string {
+	return fmt.Sprintf("[%s] t=%dns attacker=%s victim=%s %s", a.Detector, a.Ts, a.Attacker, a.Victim, a.Info)
+}
+
+// Reaction is what a detector asks the platform to do after one packet.
+// The zero value requests nothing.
+type Reaction struct {
+	// Pin / Unpin the packet's flow record in the FlowCache.
+	Pin, Unpin bool
+	// ToHost forwards this packet to the host NF tier (SR-IOV port).
+	ToHost bool
+	// Whitelist asks the control loop to install a benign-flow entry at
+	// the switch (and unpin the record).
+	Whitelist bool
+	// BlacklistSrc asks the control loop to drop this source at the
+	// switch.
+	BlacklistSrc bool
+	// DropPacket consumes the packet (IPS block).
+	DropPacket bool
+	// ExtraCycles is the sNIC engine cost of the detector's work on this
+	// packet (charged by the DES).
+	ExtraCycles float64
+}
+
+// merge folds another reaction in (multiple detectors can react to one
+// packet).
+func (r *Reaction) merge(o Reaction) {
+	r.Pin = r.Pin || o.Pin
+	r.Unpin = r.Unpin || o.Unpin
+	r.ToHost = r.ToHost || o.ToHost
+	r.Whitelist = r.Whitelist || o.Whitelist
+	r.BlacklistSrc = r.BlacklistSrc || o.BlacklistSrc
+	r.DropPacket = r.DropPacket || o.DropPacket
+	r.ExtraCycles += o.ExtraCycles
+}
+
+// Detector is one in-line sNIC detector.
+type Detector interface {
+	// Name identifies the detector (Table 2 row).
+	Name() string
+	// OnPacket observes one packet with its FlowCache record (nil when
+	// the packet was punted without a record) and the datapath context.
+	OnPacket(p *packet.Packet, rec *flowcache.Record, ctx snic.Ctx) Reaction
+	// Tick fires periodically (CME timers, interval work).
+	Tick(now int64)
+	// Drain returns and clears accumulated alerts.
+	Drain() []Alert
+}
+
+// alertBuf is the common alert accumulator.
+type alertBuf struct{ alerts []Alert }
+
+func (b *alertBuf) emit(a Alert)     { b.alerts = append(b.alerts, a) }
+func (b *alertBuf) Drain() []Alert   { out := b.alerts; b.alerts = nil; return out }
+func (b *alertBuf) Pending() []Alert { return b.alerts }
+
+// Chain runs several detectors as one, merging reactions.
+type Chain struct {
+	detectors []Detector
+}
+
+// NewChain bundles detectors.
+func NewChain(ds ...Detector) *Chain { return &Chain{detectors: ds} }
+
+// Name implements Detector.
+func (c *Chain) Name() string { return "chain" }
+
+// OnPacket fans out to every detector.
+func (c *Chain) OnPacket(p *packet.Packet, rec *flowcache.Record, ctx snic.Ctx) Reaction {
+	var out Reaction
+	for _, d := range c.detectors {
+		out.merge(d.OnPacket(p, rec, ctx))
+	}
+	return out
+}
+
+// Tick fans out.
+func (c *Chain) Tick(now int64) {
+	for _, d := range c.detectors {
+		d.Tick(now)
+	}
+}
+
+// Drain gathers all alerts.
+func (c *Chain) Drain() []Alert {
+	var out []Alert
+	for _, d := range c.detectors {
+		out = append(out, d.Drain()...)
+	}
+	return out
+}
+
+// Detectors exposes the chained detectors.
+func (c *Chain) Detectors() []Detector { return c.detectors }
+
+// Flow-state bit assignments shared by the TCP-tracking detectors. The
+// FlowCache Record.State field is a detector-owned bitfield; these bits
+// are the convention used across this package.
+const (
+	stateSYNSeen uint64 = 1 << iota
+	stateSYNACKSeen
+	stateEstablished
+	stateDataSeen
+	stateRSTSeen
+	stateFINSeen
+	stateOutcomeReported // handshake outcome already counted by port scan
+	stateAuthPending     // brute-force: waiting for host auth verdict
+	stateAuthFailed
+	stateAuthOK
+)

@@ -1,0 +1,297 @@
+package detect
+
+import (
+	"fmt"
+
+	"smartwatch/internal/flowcache"
+	"smartwatch/internal/packet"
+	"smartwatch/internal/snic"
+)
+
+// Incomplete detects TCP incomplete flows (§5.1.2 "similar attacks"):
+// SYNs that are never followed by data within a timeout. Unlike forged
+// RSTs, SYNs are never blocked; sources accumulating many incomplete
+// flows are reported.
+type Incomplete struct {
+	alertBuf
+	timeoutNs int64
+	threshold int
+	hooks     Hooks
+	pending   map[packet.FlowKey]pendingProbe
+	counts    map[packet.Addr]int
+	flagged   map[packet.Addr]bool
+	// hostPkts counts SYN records the host examines (Table 2).
+	hostPkts, totalPkts uint64
+}
+
+// NewIncomplete builds the detector: sources with at least threshold
+// incomplete flows (SYN, then no data for timeoutNs) are reported.
+func NewIncomplete(timeoutNs int64, threshold int, hooks Hooks) *Incomplete {
+	if timeoutNs <= 0 {
+		timeoutNs = 5e9
+	}
+	if threshold <= 0 {
+		threshold = 10
+	}
+	if hooks == nil {
+		hooks = NopHooks{}
+	}
+	return &Incomplete{
+		timeoutNs: timeoutNs, threshold: threshold, hooks: hooks,
+		pending: map[packet.FlowKey]pendingProbe{},
+		counts:  map[packet.Addr]int{},
+		flagged: map[packet.Addr]bool{},
+	}
+}
+
+// Name implements Detector.
+func (d *Incomplete) Name() string { return "tcp-incomplete" }
+
+// OnPacket implements Detector.
+func (d *Incomplete) OnPacket(p *packet.Packet, rec *flowcache.Record, _ snic.Ctx) Reaction {
+	if !p.IsTCP() || rec == nil {
+		return Reaction{}
+	}
+	d.totalPkts++
+	k := p.Key()
+	switch {
+	case p.Flags.Has(packet.FlagSYN) && !p.Flags.Has(packet.FlagACK):
+		if rec.State&stateSYNSeen == 0 {
+			rec.State |= stateSYNSeen
+			d.pending[k] = pendingProbe{src: p.Tuple.SrcIP, dst: p.Tuple.DstIP, ts: p.Ts}
+			d.hostPkts++ // flow record examined host-side
+			return Reaction{Pin: true, ExtraCycles: 25}
+		}
+	case p.PayloadLen > 0:
+		if rec.State&stateDataSeen == 0 {
+			rec.State |= stateDataSeen
+			if _, ok := d.pending[k]; ok {
+				delete(d.pending, k)
+				return Reaction{Unpin: true, ExtraCycles: 25}
+			}
+		}
+	}
+	return Reaction{ExtraCycles: 8}
+}
+
+// Tick expires silent half-open flows and counts them per source.
+func (d *Incomplete) Tick(now int64) {
+	for k, pp := range d.pending {
+		if now-pp.ts < d.timeoutNs {
+			continue
+		}
+		delete(d.pending, k)
+		d.hooks.Unpin(k)
+		d.counts[pp.src]++
+		if d.counts[pp.src] >= d.threshold && !d.flagged[pp.src] {
+			d.flagged[pp.src] = true
+			d.emit(Alert{
+				Detector: "tcp-incomplete", Ts: now, Attacker: pp.src, Victim: pp.dst,
+				Info: fmt.Sprintf("%d incomplete flows", d.counts[pp.src]),
+			})
+		}
+	}
+}
+
+// HostShare returns the Table 2 host-processed fraction.
+func (d *Incomplete) HostShare() float64 {
+	if d.totalPkts == 0 {
+		return 0
+	}
+	return float64(d.hostPkts) / float64(d.totalPkts)
+}
+
+// ---------------------------------------------------------------------------
+
+// DNSAmplification computes the response/request amplification factor per
+// DNS session entirely on the sNIC (the phi-variable substitution of
+// §5.1.3): request bytes in the low half of the record state, response
+// bytes in the high half.
+type DNSAmplification struct {
+	alertBuf
+	factor  float64
+	minResp uint64
+	alerted map[packet.FlowKey]bool
+}
+
+// NewDNSAmplification builds the detector: sessions whose response volume
+// exceeds factor times the request volume (and minResp bytes total) are
+// reported.
+func NewDNSAmplification(factor float64, minResp uint64) *DNSAmplification {
+	if factor <= 1 {
+		factor = 10
+	}
+	if minResp == 0 {
+		minResp = 4096
+	}
+	return &DNSAmplification{factor: factor, minResp: minResp, alerted: map[packet.FlowKey]bool{}}
+}
+
+// Name implements Detector.
+func (d *DNSAmplification) Name() string { return "dns-amplification" }
+
+// OnPacket implements Detector.
+func (d *DNSAmplification) OnPacket(p *packet.Packet, rec *flowcache.Record, _ snic.Ctx) Reaction {
+	if !p.IsUDP() || (p.Tuple.DstPort != 53 && p.Tuple.SrcPort != 53) || rec == nil {
+		return Reaction{}
+	}
+	req := rec.State & 0xffffffff
+	resp := rec.State >> 32
+	if p.Tuple.DstPort == 53 {
+		req += uint64(p.Size)
+	} else {
+		resp += uint64(p.Size)
+	}
+	if req > 0xffffffff {
+		req = 0xffffffff
+	}
+	if resp > 0xffffffff {
+		resp = 0xffffffff
+	}
+	rec.State = resp<<32 | req
+	k := p.Key()
+	// Reflection fires on an extreme response/request ratio; sessions with
+	// no observed request at all (unsolicited large answers) are the
+	// purest reflection signal.
+	amplified := resp >= d.minResp && req > 0 && float64(resp) >= d.factor*float64(req)
+	unsolicited := req == 0 && resp >= 4*d.minResp
+	if !d.alerted[k] && (amplified || unsolicited) {
+		d.alerted[k] = true
+		victim, resolver := p.Tuple.DstIP, p.Tuple.SrcIP
+		if p.Tuple.DstPort == 53 {
+			victim, resolver = p.Tuple.SrcIP, p.Tuple.DstIP
+		}
+		d.emit(Alert{
+			Detector: "dns-amplification", Ts: p.Ts, Flow: k,
+			Attacker: resolver, Victim: victim,
+			Info: fmt.Sprintf("amplification %0.1fx (%dB resp / %dB req)", float64(resp)/float64(req), resp, req),
+		})
+	}
+	return Reaction{ExtraCycles: 20}
+}
+
+// Tick implements Detector.
+func (d *DNSAmplification) Tick(int64) {}
+
+// ---------------------------------------------------------------------------
+
+// Worm is the EarlyBird-style detector (Singh et al.): an invariant
+// payload signature spreading to many distinct destinations marks worm
+// propagation. Signatures and destination sets live in the sNIC's
+// linear-array memory (the paper's L).
+type Worm struct {
+	alertBuf
+	threshold int
+	maxSigs   int
+	sigs      map[uint64]map[packet.Addr]bool
+	srcs      map[uint64]map[packet.Addr]bool
+	alerted   map[uint64]bool
+}
+
+// NewWorm builds the detector: signatures reaching threshold distinct
+// destinations are reported. maxSigs bounds tracked signatures.
+func NewWorm(threshold, maxSigs int) *Worm {
+	if threshold <= 0 {
+		threshold = 16
+	}
+	if maxSigs <= 0 {
+		maxSigs = 1 << 16
+	}
+	return &Worm{
+		threshold: threshold, maxSigs: maxSigs,
+		sigs: map[uint64]map[packet.Addr]bool{}, srcs: map[uint64]map[packet.Addr]bool{},
+		alerted: map[uint64]bool{},
+	}
+}
+
+// Name implements Detector.
+func (d *Worm) Name() string { return "earlybird-worm" }
+
+// OnPacket implements Detector.
+func (d *Worm) OnPacket(p *packet.Packet, _ *flowcache.Record, _ snic.Ctx) Reaction {
+	sig := p.App.PayloadSig
+	if sig == 0 {
+		return Reaction{}
+	}
+	dsts := d.sigs[sig]
+	if dsts == nil {
+		if len(d.sigs) >= d.maxSigs {
+			return Reaction{ExtraCycles: 15}
+		}
+		dsts = map[packet.Addr]bool{}
+		d.sigs[sig] = dsts
+		d.srcs[sig] = map[packet.Addr]bool{}
+	}
+	dsts[p.Tuple.DstIP] = true
+	d.srcs[sig][p.Tuple.SrcIP] = true
+	if len(dsts) >= d.threshold && !d.alerted[sig] {
+		d.alerted[sig] = true
+		for src := range d.srcs[sig] {
+			d.emit(Alert{
+				Detector: "earlybird-worm", Ts: p.Ts, Attacker: src,
+				Info: fmt.Sprintf("signature %#x hit %d destinations", sig, len(dsts)),
+			})
+		}
+	}
+	return Reaction{ExtraCycles: 25}
+}
+
+// Tick implements Detector.
+func (d *Worm) Tick(int64) {}
+
+// ---------------------------------------------------------------------------
+
+// SSLExpiry mirrors Zeek's expiring-certs policy: TLS handshakes
+// presenting certificates that expire within the horizon are reported
+// once per server.
+type SSLExpiry struct {
+	alertBuf
+	horizonNs int64
+	alerted   map[packet.Addr]bool
+	// host share accounting (certificate parsing happens host-side).
+	hostPkts, totalPkts uint64
+}
+
+// NewSSLExpiry builds the detector.
+func NewSSLExpiry(horizonNs int64) *SSLExpiry {
+	if horizonNs <= 0 {
+		horizonNs = 30 * 24 * 3600 * 1e9
+	}
+	return &SSLExpiry{horizonNs: horizonNs, alerted: map[packet.Addr]bool{}}
+}
+
+// Name implements Detector.
+func (d *SSLExpiry) Name() string { return "ssl-expiry" }
+
+// OnPacket implements Detector.
+func (d *SSLExpiry) OnPacket(p *packet.Packet, _ *flowcache.Record, _ snic.Ctx) Reaction {
+	if p.Tuple.DstPort != 443 && p.Tuple.SrcPort != 443 {
+		return Reaction{}
+	}
+	d.totalPkts++
+	if p.App.TLSCertExpiry == 0 {
+		return Reaction{ExtraCycles: 5}
+	}
+	// Certificate packets go to the host NF for parsing.
+	d.hostPkts++
+	server := p.Tuple.SrcIP // the certificate travels server -> client
+	if p.App.TLSCertExpiry-p.Ts < d.horizonNs && !d.alerted[server] {
+		d.alerted[server] = true
+		d.emit(Alert{
+			Detector: "ssl-expiry", Ts: p.Ts, Victim: server,
+			Info: fmt.Sprintf("certificate expires within horizon (notAfter=%d)", p.App.TLSCertExpiry),
+		})
+	}
+	return Reaction{ToHost: true, ExtraCycles: 30}
+}
+
+// Tick implements Detector.
+func (d *SSLExpiry) Tick(int64) {}
+
+// HostShare returns the Table 2 host-processed fraction.
+func (d *SSLExpiry) HostShare() float64 {
+	if d.totalPkts == 0 {
+		return 0
+	}
+	return float64(d.hostPkts) / float64(d.totalPkts)
+}

@@ -1,0 +1,153 @@
+package detect
+
+import (
+	"fmt"
+
+	"smartwatch/internal/flowcache"
+	"smartwatch/internal/packet"
+	"smartwatch/internal/snic"
+	"smartwatch/internal/stats"
+)
+
+// PortScan is the stealthy-scan detector of §5.1.3: the sNIC determines
+// each connection attempt's outcome phi (three-way handshake completed or
+// not) by tracking per-packet state with pinned FlowCache records; the
+// host runs Jung et al.'s Threshold-Random-Walk hypothesis test per remote
+// source over the exported indicator variables. No packets are forwarded
+// to the host — only flow records.
+type PortScan struct {
+	alertBuf
+	cfg     PortScanConfig
+	hooks   Hooks
+	trw     map[packet.Addr]*stats.TRW
+	pending map[packet.FlowKey]pendingProbe
+	flagged map[packet.Addr]bool
+}
+
+type pendingProbe struct {
+	src packet.Addr
+	dst packet.Addr
+	ts  int64
+}
+
+// PortScanConfig parameterises the detector.
+type PortScanConfig struct {
+	// ResponseTimeoutNs is how long a SYN may wait for a SYN-ACK/RST
+	// before the attempt counts as failed (no response).
+	ResponseTimeoutNs int64
+	// TRW is the sequential-test operating point.
+	TRW stats.TRWConfig
+	// Hooks receives blacklist requests.
+	Hooks Hooks
+	// MaxPending bounds the half-open tracking table.
+	MaxPending int
+}
+
+// NewPortScan builds the detector.
+func NewPortScan(cfg PortScanConfig) *PortScan {
+	if cfg.ResponseTimeoutNs <= 0 {
+		cfg.ResponseTimeoutNs = 2e9
+	}
+	if cfg.TRW == (stats.TRWConfig{}) {
+		cfg.TRW = stats.DefaultTRWConfig()
+	}
+	if cfg.Hooks == nil {
+		cfg.Hooks = NopHooks{}
+	}
+	if cfg.MaxPending <= 0 {
+		cfg.MaxPending = 1 << 16
+	}
+	return &PortScan{
+		cfg: cfg, hooks: cfg.Hooks,
+		trw:     map[packet.Addr]*stats.TRW{},
+		pending: map[packet.FlowKey]pendingProbe{},
+		flagged: map[packet.Addr]bool{},
+	}
+}
+
+// Name implements Detector.
+func (d *PortScan) Name() string { return "portscan" }
+
+// OnPacket implements Detector.
+func (d *PortScan) OnPacket(p *packet.Packet, rec *flowcache.Record, _ snic.Ctx) Reaction {
+	if !p.IsTCP() || rec == nil {
+		return Reaction{}
+	}
+	r := Reaction{ExtraCycles: 30}
+	k := p.Key()
+	switch {
+	case p.Flags.Has(packet.FlagSYN) && !p.Flags.Has(packet.FlagACK):
+		if rec.State&(stateSYNSeen|stateOutcomeReported) == 0 {
+			rec.State |= stateSYNSeen
+			rec.StateTs = p.Ts
+			// Pin until the outcome is determined (§3.2 pinning).
+			r.Pin = true
+			if len(d.pending) < d.cfg.MaxPending {
+				d.pending[k] = pendingProbe{src: p.Tuple.SrcIP, dst: p.Tuple.DstIP, ts: p.Ts}
+			}
+		}
+	case p.Flags.Has(packet.FlagSYN | packet.FlagACK):
+		if rec.State&stateSYNSeen != 0 && rec.State&stateOutcomeReported == 0 {
+			rec.State |= stateSYNACKSeen | stateOutcomeReported
+			r.Unpin = true
+			if pp, ok := d.pending[k]; ok {
+				d.observe(pp.src, true, p.Ts)
+				delete(d.pending, k)
+			}
+		}
+	case p.Flags.Has(packet.FlagRST):
+		// RST answering a probe: failed attempt (closed port).
+		if rec.State&stateSYNSeen != 0 && rec.State&stateOutcomeReported == 0 {
+			rec.State |= stateOutcomeReported
+			r.Unpin = true
+			if pp, ok := d.pending[k]; ok {
+				d.observe(pp.src, false, p.Ts)
+				delete(d.pending, k)
+			}
+		}
+	}
+	if d.flagged[p.Tuple.SrcIP] {
+		r.DropPacket = true
+	}
+	return r
+}
+
+// observe feeds one indicator variable into the source's TRW.
+func (d *PortScan) observe(src packet.Addr, success bool, ts int64) {
+	t := d.trw[src]
+	if t == nil {
+		t = stats.NewTRW(d.cfg.TRW)
+		d.trw[src] = t
+	}
+	if t.Observe(success) == stats.TRWScanner && !d.flagged[src] {
+		d.flagged[src] = true
+		d.hooks.Blacklist(src)
+		d.emit(Alert{
+			Detector: "portscan", Ts: ts, Attacker: src,
+			Info: fmt.Sprintf("TRW verdict scanner after %d attempts", t.Observations()),
+		})
+	}
+}
+
+// Tick sweeps timed-out probes: no response means a failed attempt
+// (filtered port / dead host).
+func (d *PortScan) Tick(now int64) {
+	for k, pp := range d.pending {
+		if now-pp.ts >= d.cfg.ResponseTimeoutNs {
+			delete(d.pending, k)
+			d.hooks.Unpin(k)
+			d.observe(pp.src, false, now)
+		}
+	}
+}
+
+// Flagged reports whether the source is classified as a scanner.
+func (d *PortScan) Flagged(a packet.Addr) bool { return d.flagged[a] }
+
+// Verdict returns the TRW state for a source (nil if never observed).
+func (d *PortScan) Verdict(a packet.Addr) stats.TRWVerdict {
+	if t := d.trw[a]; t != nil {
+		return t.Verdict()
+	}
+	return stats.TRWPending
+}

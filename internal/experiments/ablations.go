@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"math"
+
+	"smartwatch/internal/flowcache"
+	"smartwatch/internal/packet"
+	"smartwatch/internal/stats"
+)
+
+// Ablations regenerates the design-choice comparisons DESIGN.md §5 calls
+// out beyond the paper's own figures:
+//
+//   - FlowCache rows vs Cuckoo hashing at a matched 12-operation bound
+//     (§3.2 cites a 2.43x p99.9 latency advantage for FlowCache);
+//   - FlowCache's P/E rows vs TurboFlow-style single-slot microflow
+//     records (§6: partial-record re-export load on the host);
+//   - lazy (Alg. 3) vs eager General->Lite row cleanup.
+func Ablations(scale float64) *Table {
+	t := &Table{
+		ID: "ablations", Title: "Design-choice ablations (FlowCache vs alternatives)",
+		Columns: []string{"ablation", "metric", "flowcache", "alternative"},
+	}
+	// The comparisons need saturated tables; below half scale the flow
+	// population stops stressing them, so floor the workload size.
+	n := scaleInt(150_000, math.Max(scale, 0.8))
+
+	// --- Cuckoo hashing: modelled p99.9 packet latency. Reads yield the
+	// thread (cheap), writes stall (expensive); relocation chains are all
+	// writes.
+	tail := func(cuckoo bool) float64 {
+		lat := stats.NewQuantiles(1 << 17)
+		var process func(p *packet.Packet) flowcache.Result
+		if cuckoo {
+			c := flowcache.NewCuckoo(flowcache.CuckooConfig{SlotBits: 14, MaxKicks: 12})
+			process = func(p *packet.Packet) flowcache.Result { _, r := c.Process(p); return r }
+		} else {
+			cfg := flowcache.DefaultConfig(10)
+			cfg.RingEntries = 1 << 18
+			c := flowcache.New(cfg)
+			process = func(p *packet.Packet) flowcache.Result { _, r := c.Process(p); return r }
+		}
+		const readNs, writeNs, baseNs = 30.0, 600.0, 800.0
+		for p := range stressStream(n, 60_000, 0.3, 71) {
+			res := process(&p)
+			lat.Add(baseNs + readNs*float64(res.Reads) + writeNs*float64(res.Writes))
+		}
+		return lat.Quantile(0.999)
+	}
+	fcTail, ckTail := tail(false), tail(true)
+	t.AddRow("cuckoo-hashing", "p99.9_latency_ns", f2(fcTail), f2(ckTail))
+	t.AddRow("cuckoo-hashing", "tail_ratio", "1.00", f2(ckTail/fcTail))
+
+	// --- TurboFlow-style single-slot records: partial exports per
+	// elephant flow (host aggregation load).
+	exportsPerElephant := func(cfg flowcache.Config) float64 {
+		cfg.RingEntries = 1 << 20
+		c := flowcache.New(cfg)
+		for p := range stressStream(n, 60_000, 0.1, 72) {
+			c.Process(&p)
+		}
+		elephant := map[packet.FlowKey]bool{}
+		for fl := 0; fl < 500; fl++ {
+			tu := packet.FiveTuple{SrcIP: packet.Addr(fl*2654435761 + 17), DstIP: packet.Addr(fl + 3), SrcPort: uint16(fl), DstPort: 443, Proto: packet.ProtoTCP}
+			elephant[tu.Canonical()] = true
+		}
+		exp := 0
+		for _, ring := range c.Rings() {
+			for _, r := range ring.Drain(nil, 0) {
+				if elephant[r.Key] {
+					exp++
+				}
+			}
+		}
+		return float64(exp) / 500
+	}
+	turbo := flowcache.Config{
+		RowBits: 13, Buckets: 1, PrimaryBuckets: 1, EvictionBuckets: 0,
+		LiteBuckets: 1, PolicyP: flowcache.LRU, Rings: 8, RingEntries: 1 << 20,
+	}
+	t.AddRow("turboflow-single-slot", "exports_per_elephant",
+		f2(exportsPerElephant(flowcache.DefaultConfig(10))), f2(exportsPerElephant(turbo)))
+
+	// --- Lazy vs eager General->Lite cleanup: rows reordered per packet
+	// touch vs one blocking sweep (relative record-move work is identical;
+	// what differs is where the latency lands — report cleanup counts).
+	mk := func() *flowcache.Cache {
+		c := flowcache.New(flowcache.DefaultConfig(10))
+		for p := range stressStream(n/3, 30_000, 0.1, 73) {
+			c.Process(&p)
+		}
+		c.SetMode(flowcache.Lite)
+		return c
+	}
+	lazy := mk()
+	for p := range stressStream(n/3, 30_000, 0.1, 74) {
+		lazy.Process(&p)
+	}
+	eager := mk()
+	eager.CleanAllRows()
+	t.AddRow("lazy-vs-eager-cleanup", "rows_cleaned",
+		d(lazy.Stats().RowCleanups), d(eager.Stats().RowCleanups))
+	t.AddRow("lazy-vs-eager-cleanup", "cleanup_evictions",
+		d(lazy.Stats().CleanupEvictions), d(eager.Stats().CleanupEvictions))
+
+	t.Notes = append(t.Notes,
+		"cuckoo: paper §3.2 measures FlowCache's p99.9 latency 2.43x lower than cuckoo at a 12-op bound",
+		"turboflow: single-slot records re-export long-lived flows as many partial records (host load)",
+		"cleanup: lazy amortizes Alg.-3 reordering over the packet path; eager pays it in one sweep")
+	return t
+}

@@ -1,0 +1,454 @@
+package flowcache
+
+import (
+	"smartwatch/internal/packet"
+	"sync/atomic"
+)
+
+// Cache is the sNIC FlowCache. The hot path is Process, which classifies
+// each packet as a P hit, E hit or miss and maintains the table exactly as
+// Fig. 4a describes:
+//
+//   - P hit: update the flow record in place.
+//   - E hit: swap the record with the P buffer's replacement victim, then
+//     update.
+//   - Miss: evict E's victim to a ring buffer, demote P's victim into E,
+//     insert the new flow into P.
+//
+// Concurrency note: the Netronome hardware serialises counter updates with
+// atomic memory primitives and uses a test-and-set row latch only for
+// insertions (Appendix 9.1/9.2). Go's memory model has no atomic multi-word
+// key compare, so the idiomatic translation used here is a per-row spin
+// latch held for the duration of one Process call. With 2^RowBits rows the
+// latch is effectively uncontended; the simulator still charges the
+// *hardware* cost model (atomic add for updates, latch+swap for inserts)
+// via the Reads/Writes counts each call reports.
+type Cache struct {
+	cfg   Config
+	mode  atomic.Uint32
+	rows  []row
+	rings []*Ring
+	stats statCounters
+}
+
+type row struct {
+	latch atomic.Int32
+	dirty bool // needs Alg-3 reorder before Lite probing; guarded by latch
+	// buckets[0:P] is the Primary buffer, buckets[P:B] the Eviction buffer
+	// in General mode; Lite mode probes a b-wide slice (Alg. 1).
+	buckets []Record
+}
+
+// statCounters mirrors Stats with atomically updated fields.
+type statCounters struct {
+	pHits, eHits, misses, inserts   atomic.Uint64
+	evictions, ringDrops, hostPunts atomic.Uint64
+	pinDenied, rowCleanups          atomic.Uint64
+	cleanupEvictions                atomic.Uint64
+	reads, writes                   atomic.Uint64
+}
+
+// New builds a cache from cfg. It panics on invalid configuration (these
+// are programmer errors; use cfg.Validate to pre-check user input).
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	c := &Cache{cfg: cfg}
+	c.rows = make([]row, cfg.Rows())
+	store := make([]Record, cfg.Rows()*cfg.Buckets) // contiguous, like the sNIC allocation
+	for i := range c.rows {
+		c.rows[i].buckets = store[i*cfg.Buckets : (i+1)*cfg.Buckets : (i+1)*cfg.Buckets]
+	}
+	c.rings = make([]*Ring, cfg.Rings)
+	for i := range c.rings {
+		c.rings[i] = NewRing(cfg.RingEntries)
+	}
+	return c
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Mode returns the active operating mode.
+func (c *Cache) Mode() Mode { return Mode(c.mode.Load()) }
+
+// SetMode switches the operating mode. Switching General->Lite marks every
+// row dirty for lazy Alg.-3 cleanup; Lite->General needs no reordering
+// because Lite's candidate buckets are a subset of General's.
+//
+// Rows are marked dirty BEFORE the mode becomes visible: any processor
+// that observes Lite is then guaranteed to see its row's dirty flag and
+// perform the cleanup before probing the narrowed candidate set. Marking
+// after the swap would open a window where a Lite-mode probe misses a
+// record still sitting outside its slice and inserts a duplicate.
+func (c *Cache) SetMode(m Mode) {
+	if m == Lite && c.Mode() != Lite {
+		for i := range c.rows {
+			rw := &c.rows[i]
+			rw.acquire()
+			rw.dirty = true
+			rw.release()
+		}
+	}
+	c.mode.Store(uint32(m))
+}
+
+// Rings exposes the eviction rings for the host snapshotter.
+func (c *Cache) Rings() []*Ring { return c.rings }
+
+// rowIndex selects the row from the low hash bits (Alg. 1 line 4).
+func (c *Cache) rowIndex(hash uint64) uint64 {
+	return hash & uint64(c.cfg.Rows()-1)
+}
+
+// liteSlice returns the [lo,hi) candidate bucket range for Lite mode
+// (Alg. 1 lines 8–9): a b-wide slice chosen by the hash bits above the row
+// index.
+func (c *Cache) liteSlice(hash uint64) (int, int) {
+	b := c.cfg.LiteBuckets
+	slices := c.cfg.Buckets / b
+	off := int((hash>>uint(c.cfg.RowBits))%uint64(slices)) * b
+	return off, off + b
+}
+
+// acquire takes the row latch (the test_and_set of Alg. 2).
+func (r *row) acquire() {
+	for !r.latch.CompareAndSwap(0, 1) {
+	}
+}
+
+func (r *row) release() { r.latch.Store(0) }
+
+// Process runs the full FlowCache update for one packet and returns the
+// flow record (nil on HostPunt) plus the operation report. The returned
+// pointer stays valid until the record is evicted or swapped; mutating its
+// State through the pointer is safe only for single-goroutine drivers (the
+// DES); concurrent users go through UpdateState.
+func (c *Cache) Process(p *packet.Packet) (*Record, Result) {
+	hash := p.Hash()
+	key := p.Key()
+	rw := &c.rows[c.rowIndex(hash)]
+	res := Result{}
+
+	rw.acquire()
+	defer rw.release()
+
+	// The mode is read under the row latch: concurrent Process calls on
+	// one row are serialized, so the second caller sees both the first
+	// caller's insert and at least as new a mode value — closing the
+	// duplicate-insert window around switchovers.
+	mode := c.Mode()
+
+	if mode == Lite && rw.dirty {
+		evicted := c.cleanRow(rw)
+		rw.dirty = false
+		res.RowCleaned = true
+		c.stats.rowCleanups.Add(1)
+		c.stats.cleanupEvictions.Add(uint64(evicted))
+	}
+
+	lo, hi := 0, c.cfg.Buckets
+	if mode == Lite {
+		lo, hi = c.liteSlice(hash)
+	}
+	pEnd := lo + c.cfg.PrimaryBuckets
+	if mode == Lite || c.cfg.EvictionBuckets == 0 {
+		pEnd = hi // single buffer: the whole slice is "P"
+	}
+
+	if rec, idx := c.probe(rw, hash, key, lo, hi, &res); rec != nil {
+		if idx < pEnd {
+			rec.update(p)
+			res.Outcome = PHit
+			res.Writes++
+			c.stats.pHits.Add(1)
+			c.finish(&res)
+			return rec, res
+		}
+		// E hit: swap with P's victim, then update.
+		rec = c.promote(rw, idx, lo, pEnd, &res)
+		rec.update(p)
+		res.Outcome = EHit
+		res.Writes++
+		c.stats.eHits.Add(1)
+		c.finish(&res)
+		return rec, res
+	}
+
+	rec := c.insert(rw, hash, key, p, lo, pEnd, hi, &res)
+	if rec == nil {
+		res.Outcome = HostPunt
+		c.stats.hostPunts.Add(1)
+		c.finish(&res)
+		return nil, res
+	}
+	res.Outcome = Miss
+	c.stats.misses.Add(1)
+	c.finish(&res)
+	return rec, res
+}
+
+func (c *Cache) finish(res *Result) {
+	c.stats.reads.Add(uint64(res.Reads))
+	c.stats.writes.Add(uint64(res.Writes))
+}
+
+// probe scans candidate buckets for the key, counting reads.
+func (c *Cache) probe(rw *row, hash uint64, key packet.FlowKey, lo, hi int, res *Result) (*Record, int) {
+	for i := lo; i < hi; i++ {
+		rec := &rw.buckets[i]
+		res.Reads++
+		if rec.occupied && rec.Hash == hash && rec.Key == key {
+			return rec, i
+		}
+	}
+	return nil, -1
+}
+
+// update applies one packet to the record (the hardware's atomic-add path).
+func (r *Record) update(p *packet.Packet) {
+	r.Pkts++
+	r.Bytes += uint64(p.Size)
+	r.LastTs = p.Ts
+}
+
+// victimIndex picks the replacement victim in [lo,hi) under policy,
+// skipping pinned entries; -1 when every entry is pinned. A free slot wins
+// immediately.
+func (c *Cache) victimIndex(rw *row, lo, hi int, policy Policy, res *Result) int {
+	victim := -1
+	for i := lo; i < hi; i++ {
+		rec := &rw.buckets[i]
+		res.Reads++
+		if !rec.occupied {
+			return i
+		}
+		if rec.Pinned {
+			continue
+		}
+		if victim == -1 {
+			victim = i
+			continue
+		}
+		v := &rw.buckets[victim]
+		switch policy {
+		case LRU:
+			if rec.LastTs < v.LastTs {
+				victim = i
+			}
+		case LPC:
+			if rec.Pkts < v.Pkts {
+				victim = i
+			}
+		case FIFO:
+			if rec.FirstTs < v.FirstTs {
+				victim = i
+			}
+		}
+	}
+	return victim
+}
+
+// promote swaps an E-buffer hit into the Primary buffer (Fig. 4a "E hit")
+// and returns the record's new location.
+func (c *Cache) promote(rw *row, eIdx, pLo, pEnd int, res *Result) *Record {
+	pIdx := c.victimIndex(rw, pLo, pEnd, c.cfg.PolicyP, res)
+	if pIdx == -1 || pIdx == eIdx {
+		// Whole P pinned (or degenerate layout): keep the record in place.
+		return &rw.buckets[eIdx]
+	}
+	a, b := &rw.buckets[pIdx], &rw.buckets[eIdx]
+	*a, *b = *b, *a
+	res.Writes += 2
+	return a
+}
+
+// insert creates a new record for the missing flow, cascading evictions
+// P -> E -> ring as Fig. 4a's "Miss" arrow shows. nil means every
+// candidate was pinned and the packet must be punted to the host.
+func (c *Cache) insert(rw *row, hash uint64, key packet.FlowKey, p *packet.Packet, lo, pEnd, hi int, res *Result) *Record {
+	newRec := Record{
+		Key: key, Hash: hash,
+		Pkts: 1, Bytes: uint64(p.Size),
+		FirstTs: p.Ts, LastTs: p.Ts,
+		occupied: true,
+	}
+
+	pIdx := c.victimIndex(rw, lo, pEnd, c.cfg.PolicyP, res)
+	if pIdx == -1 {
+		// All of P pinned; try to land directly in E.
+		if pEnd < hi {
+			if eIdx := c.victimIndex(rw, pEnd, hi, c.cfg.PolicyE, res); eIdx != -1 {
+				c.evictOccupied(rw, eIdx, res)
+				rw.buckets[eIdx] = newRec
+				res.Writes++
+				c.stats.inserts.Add(1)
+				return &rw.buckets[eIdx]
+			}
+		}
+		c.stats.pinDenied.Add(1)
+		return nil
+	}
+
+	pVictim := &rw.buckets[pIdx]
+	if pVictim.occupied {
+		if pEnd < hi {
+			// Demote P's victim into E, evicting E's victim to a ring.
+			eIdx := c.victimIndex(rw, pEnd, hi, c.cfg.PolicyE, res)
+			if eIdx == -1 {
+				// E fully pinned: evict P's victim straight to the ring.
+				c.evictOccupied(rw, pIdx, res)
+			} else {
+				c.evictOccupied(rw, eIdx, res)
+				rw.buckets[eIdx] = *pVictim
+				res.Writes++
+			}
+		} else {
+			// Single buffer: victim goes straight to the ring.
+			c.evictOccupied(rw, pIdx, res)
+		}
+	}
+	rw.buckets[pIdx] = newRec
+	res.Writes++
+	c.stats.inserts.Add(1)
+	return &rw.buckets[pIdx]
+}
+
+// evictOccupied pushes the record at idx to its ring if occupied and marks
+// the slot free.
+func (c *Cache) evictOccupied(rw *row, idx int, res *Result) {
+	rec := &rw.buckets[idx]
+	if !rec.occupied {
+		return
+	}
+	out := *rec
+	rec.occupied = false
+	c.pushRing(out)
+	res.Writes++
+	res.Evicted = true
+}
+
+// pushRing delivers an evicted record to its ring, counting overflow drops.
+func (c *Cache) pushRing(out Record) {
+	ring := c.rings[out.Hash%uint64(len(c.rings))]
+	if !ring.Push(out) {
+		c.stats.ringDrops.Add(1)
+	}
+	c.stats.evictions.Add(1)
+}
+
+// Lookup finds a record without updating it. The record is returned by
+// value to keep readers race-free.
+func (c *Cache) Lookup(key packet.FlowKey) (Record, bool) {
+	hash := key.Hash()
+	rw := &c.rows[c.rowIndex(hash)]
+	rw.acquire()
+	defer rw.release()
+	for i := range rw.buckets {
+		rec := &rw.buckets[i]
+		if rec.occupied && rec.Hash == hash && rec.Key == key {
+			return *rec, true
+		}
+	}
+	return Record{}, false
+}
+
+// Pin marks the flow's record as unevictable (per-packet state tracking
+// for low-and-slow detectors, §3.2 "Pinning Flow Records"). It reports
+// whether the flow was present.
+func (c *Cache) Pin(key packet.FlowKey) bool { return c.setPinned(key, true) }
+
+// Unpin releases a pinned record (e.g. after authentication succeeds).
+func (c *Cache) Unpin(key packet.FlowKey) bool { return c.setPinned(key, false) }
+
+func (c *Cache) setPinned(key packet.FlowKey, v bool) bool {
+	ok := false
+	c.UpdateState(key, func(rec *Record) {
+		rec.Pinned = v
+		ok = true
+	})
+	return ok
+}
+
+// UpdateState runs fn on the flow's record under the row latch, for
+// detectors that must mutate State/StateTs race-free. It reports whether
+// the flow was present.
+func (c *Cache) UpdateState(key packet.FlowKey, fn func(*Record)) bool {
+	hash := key.Hash()
+	rw := &c.rows[c.rowIndex(hash)]
+	rw.acquire()
+	defer rw.release()
+	for i := range rw.buckets {
+		rec := &rw.buckets[i]
+		if rec.occupied && rec.Hash == hash && rec.Key == key {
+			fn(rec)
+			return true
+		}
+	}
+	return false
+}
+
+// Evict removes the flow's record (pinned or not) and delivers it to its
+// ring, reporting whether it was present. The control loop uses this when
+// a flow is reclassified (e.g. whitelisted) and its sNIC state can go.
+func (c *Cache) Evict(key packet.FlowKey) bool {
+	hash := key.Hash()
+	rw := &c.rows[c.rowIndex(hash)]
+	rw.acquire()
+	defer rw.release()
+	for i := range rw.buckets {
+		rec := &rw.buckets[i]
+		if rec.occupied && rec.Hash == hash && rec.Key == key {
+			out := *rec
+			rec.occupied = false
+			c.pushRing(out)
+			return true
+		}
+	}
+	return false
+}
+
+// Snapshot copies every occupied record to fn, row by row under the row
+// latch — the periodic host flush. fn returning false stops the walk.
+func (c *Cache) Snapshot(fn func(Record) bool) {
+	for ri := range c.rows {
+		rw := &c.rows[ri]
+		rw.acquire()
+		for i := range rw.buckets {
+			rec := &rw.buckets[i]
+			if rec.occupied {
+				if !fn(*rec) {
+					rw.release()
+					return
+				}
+			}
+		}
+		rw.release()
+	}
+}
+
+// Occupancy returns the number of live records.
+func (c *Cache) Occupancy() int {
+	n := 0
+	c.Snapshot(func(Record) bool { n++; return true })
+	return n
+}
+
+// Stats returns a snapshot of the cumulative counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		PHits:            c.stats.pHits.Load(),
+		EHits:            c.stats.eHits.Load(),
+		Misses:           c.stats.misses.Load(),
+		Inserts:          c.stats.inserts.Load(),
+		Evictions:        c.stats.evictions.Load(),
+		RingDrops:        c.stats.ringDrops.Load(),
+		HostPunts:        c.stats.hostPunts.Load(),
+		PinDenied:        c.stats.pinDenied.Load(),
+		RowCleanups:      c.stats.rowCleanups.Load(),
+		CleanupEvictions: c.stats.cleanupEvictions.Load(),
+		Reads:            c.stats.reads.Load(),
+		Writes:           c.stats.writes.Load(),
+	}
+}

@@ -1,0 +1,79 @@
+package flowcache
+
+import "smartwatch/internal/stats"
+
+// Controller is the CME-resident mode switcher of Algorithm 4: it tracks
+// the packet arrival rate with an EWMA (alpha = 0.75 over 100-sample
+// windows in the paper) and flips the cache between General and Lite mode
+// around two thresholds with hysteresis.
+type Controller struct {
+	cache *Cache
+	meter *stats.RateMeter
+	// etaHigh: switch to Lite above this rate (pps). The paper's General
+	// mode is lossless to 30 Mpps on the 40 GbE sNIC.
+	etaHigh float64
+	// etaLow: switch back to General below this rate (pps).
+	etaLow      float64
+	switchovers uint64
+}
+
+// ControllerConfig parameterises the switchover policy.
+type ControllerConfig struct {
+	// Alpha is the EWMA smoothing factor (paper: 0.75).
+	Alpha float64
+	// WindowNs is the rate-sampling window in virtual ns.
+	WindowNs int64
+	// EtaHigh / EtaLow are the Lite/General thresholds in packets/second;
+	// EtaLow < EtaHigh gives hysteresis.
+	EtaHigh, EtaLow float64
+}
+
+// DefaultControllerConfig mirrors the paper's operating point: General
+// mode up to 30 Mpps, with re-entry below 25 Mpps.
+func DefaultControllerConfig() ControllerConfig {
+	return ControllerConfig{Alpha: 0.75, WindowNs: 1e6, EtaHigh: 30e6, EtaLow: 25e6}
+}
+
+// NewController attaches a switchover controller to the cache.
+func NewController(c *Cache, cfg ControllerConfig) *Controller {
+	if cfg.Alpha <= 0 || cfg.Alpha > 1 {
+		cfg.Alpha = 0.75
+	}
+	if cfg.WindowNs <= 0 {
+		cfg.WindowNs = 1e6
+	}
+	if cfg.EtaHigh <= 0 {
+		cfg.EtaHigh = 30e6
+	}
+	if cfg.EtaLow <= 0 || cfg.EtaLow >= cfg.EtaHigh {
+		cfg.EtaLow = cfg.EtaHigh * 5 / 6
+	}
+	return &Controller{
+		cache:   c,
+		meter:   stats.NewRateMeter(cfg.Alpha, cfg.WindowNs),
+		etaHigh: cfg.EtaHigh,
+		etaLow:  cfg.EtaLow,
+	}
+}
+
+// Observe records n packet arrivals at virtual time ts and applies the
+// Alg.-4 switchover rule. It returns the mode in force afterwards.
+func (ctl *Controller) Observe(ts int64, n int64) Mode {
+	rate := ctl.meter.Observe(ts, n)
+	mode := ctl.cache.Mode()
+	switch {
+	case rate > ctl.etaHigh && mode != Lite:
+		ctl.cache.SetMode(Lite)
+		ctl.switchovers++
+	case rate < ctl.etaLow && mode != General:
+		ctl.cache.SetMode(General)
+		ctl.switchovers++
+	}
+	return ctl.cache.Mode()
+}
+
+// Rate returns the smoothed arrival rate (pps).
+func (ctl *Controller) Rate() float64 { return ctl.meter.Rate() }
+
+// Switchovers returns how many mode flips have occurred.
+func (ctl *Controller) Switchovers() uint64 { return ctl.switchovers }

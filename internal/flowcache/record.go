@@ -1,0 +1,112 @@
+package flowcache
+
+import "smartwatch/internal/packet"
+
+// Record is one cached flow entry. All fields are guarded by the owning
+// row's latch; Snapshot/Lookup return copies so readers never observe a
+// torn record.
+type Record struct {
+	// Key is the canonical session key; both directions update one record.
+	Key packet.FlowKey
+	// Hash caches Key.Hash() so probes compare 8 bytes before 13.
+	Hash uint64
+	// Pkts and Bytes count everything seen for the flow since insertion.
+	Pkts  uint64
+	Bytes uint64
+	// FirstTs/LastTs are insertion and last-update virtual times; LastTs
+	// drives LRU, FirstTs drives FIFO.
+	FirstTs int64
+	LastTs  int64
+	// State is detector-owned per-flow state (bitfields, counters); the
+	// cache itself never interprets it.
+	State uint64
+	// StateTs is a detector-owned timestamp (e.g. last RST arrival).
+	StateTs int64
+	// Pinned records survive eviction; see Cache.Pin.
+	Pinned bool
+	// occupied marks a live entry.
+	occupied bool
+}
+
+// Occupied reports whether the slot holds a live record.
+func (r *Record) Occupied() bool { return r.occupied }
+
+// Stats is the cache's cumulative operation counters, the measurements
+// behind Figs. 4b, 5a and 7b.
+type Stats struct {
+	// PHits / EHits / Misses classify every processed packet.
+	PHits, EHits, Misses uint64
+	// Inserts counts new flow records created (subset of Misses).
+	Inserts uint64
+	// Evictions counts records pushed toward the host rings.
+	Evictions uint64
+	// RingDrops counts evicted records lost to full rings (host too slow).
+	RingDrops uint64
+	// HostPunts counts packets sent to the host because every candidate
+	// record was pinned.
+	HostPunts uint64
+	// PinDenied counts evictions refused because the victim was pinned.
+	PinDenied uint64
+	// RowCleanups counts lazy General->Lite row reorderings (Alg. 3).
+	RowCleanups uint64
+	// CleanupEvictions counts records evicted during row cleanup.
+	CleanupEvictions uint64
+	// Reads / Writes are abstract memory operations, converted to cycles
+	// by the sNIC simulator (reads yield the thread, writes stall).
+	Reads, Writes uint64
+}
+
+// Processed returns the total packets processed.
+func (s Stats) Processed() uint64 { return s.PHits + s.EHits + s.Misses }
+
+// HitRate returns the fraction of packets served from P or E.
+func (s Stats) HitRate() float64 {
+	t := s.Processed()
+	if t == 0 {
+		return 0
+	}
+	return float64(s.PHits+s.EHits) / float64(t)
+}
+
+// Outcome classifies one Process call (Fig. 4a's three cases plus the
+// pinned-row punt).
+type Outcome uint8
+
+// Outcomes.
+const (
+	// PHit: the flow was found in the Primary buffer.
+	PHit Outcome = iota
+	// EHit: found in the Eviction buffer and swapped into P.
+	EHit
+	// Miss: not found; a new record was inserted (possibly evicting).
+	Miss
+	// HostPunt: no record could be created because all candidates are
+	// pinned; the packet must be processed by the host.
+	HostPunt
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case PHit:
+		return "p-hit"
+	case EHit:
+		return "e-hit"
+	case Miss:
+		return "miss"
+	default:
+		return "host-punt"
+	}
+}
+
+// Result reports what one Process call did and what it cost.
+type Result struct {
+	Outcome Outcome
+	// Reads/Writes are the abstract memory operations this packet caused;
+	// the DES converts them to cycles.
+	Reads, Writes int
+	// Evicted is set when a record was pushed to a ring this call.
+	Evicted bool
+	// RowCleaned is set when this call performed a lazy Alg.-3 cleanup.
+	RowCleaned bool
+}

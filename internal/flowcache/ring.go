@@ -1,0 +1,67 @@
+package flowcache
+
+import "sync"
+
+// Ring is one eviction ring buffer. The paper dedicates 8 rings of 64K
+// entries so that 80 PMEs do not contend on a single queue; the host
+// snapshotter drains them periodically. Push is called by packet
+// processing (producers across rows); Drain by the host thread.
+type Ring struct {
+	mu    sync.Mutex
+	buf   []Record
+	head  int // next pop
+	size  int
+	drops uint64
+}
+
+// NewRing returns a ring with the given capacity.
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		panic("flowcache: ring capacity must be positive")
+	}
+	return &Ring{buf: make([]Record, capacity)}
+}
+
+// Push appends a record; it reports false (and counts a drop) when full.
+func (r *Ring) Push(rec Record) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.size == len(r.buf) {
+		r.drops++
+		return false
+	}
+	r.buf[(r.head+r.size)%len(r.buf)] = rec
+	r.size++
+	return true
+}
+
+// Drain pops up to max records into out and returns the filled slice.
+// max <= 0 drains everything available.
+func (r *Ring) Drain(out []Record, max int) []Record {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.size
+	if max > 0 && n > max {
+		n = max
+	}
+	for i := 0; i < n; i++ {
+		out = append(out, r.buf[r.head])
+		r.head = (r.head + 1) % len(r.buf)
+		r.size--
+	}
+	return out
+}
+
+// Len returns the buffered record count.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.size
+}
+
+// Drops returns how many records were lost to overflow.
+func (r *Ring) Drops() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.drops
+}

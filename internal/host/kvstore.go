@@ -1,0 +1,158 @@
+package host
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"smartwatch/internal/packet"
+)
+
+// KVStore is the flow-logging datastore standing in for the paper's Redis
+// instance: per measurement interval the host cache flushes its aggregates
+// here for offline forensics (heavy hitters, cardinality, Slowloris...).
+// It is an in-memory map with optional append-only persistence, exposing
+// the handful of operations the monitoring pipeline needs.
+type KVStore struct {
+	mu        sync.RWMutex
+	intervals map[int64]map[packet.FlowKey]HostRecord
+	aof       *bufio.Writer
+	writes    uint64
+}
+
+// NewKVStore returns an empty store. If aof is non-nil, every flushed
+// record is appended to it in a compact binary format (see WriteRecord).
+func NewKVStore(aof io.Writer) *KVStore {
+	kv := &KVStore{intervals: map[int64]map[packet.FlowKey]HostRecord{}}
+	if aof != nil {
+		kv.aof = bufio.NewWriterSize(aof, 1<<16)
+	}
+	return kv
+}
+
+// FlushInterval stores a snapshot of the flow aggregates under the
+// interval's start timestamp.
+func (kv *KVStore) FlushInterval(intervalTs int64, fs *FlowStore) error {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	m := kv.intervals[intervalTs]
+	if m == nil {
+		m = map[packet.FlowKey]HostRecord{}
+		kv.intervals[intervalTs] = m
+	}
+	var err error
+	fs.Each(func(hr HostRecord) bool {
+		m[hr.Key] = hr
+		kv.writes++
+		if kv.aof != nil {
+			if werr := writeRecord(kv.aof, intervalTs, hr); werr != nil {
+				err = werr
+				return false
+			}
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	if kv.aof != nil {
+		return kv.aof.Flush()
+	}
+	return nil
+}
+
+// Get fetches one flow's aggregate in one interval.
+func (kv *KVStore) Get(intervalTs int64, k packet.FlowKey) (HostRecord, bool) {
+	kv.mu.RLock()
+	defer kv.mu.RUnlock()
+	hr, ok := kv.intervals[intervalTs][k]
+	return hr, ok
+}
+
+// Intervals lists stored interval timestamps in ascending order.
+func (kv *KVStore) Intervals() []int64 {
+	kv.mu.RLock()
+	defer kv.mu.RUnlock()
+	out := make([]int64, 0, len(kv.intervals))
+	for ts := range kv.intervals {
+		out = append(out, ts)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Scan visits every record of one interval.
+func (kv *KVStore) Scan(intervalTs int64, fn func(HostRecord) bool) {
+	kv.mu.RLock()
+	defer kv.mu.RUnlock()
+	for _, hr := range kv.intervals[intervalTs] {
+		if !fn(hr) {
+			return
+		}
+	}
+}
+
+// Writes returns the total records written.
+func (kv *KVStore) Writes() uint64 {
+	kv.mu.RLock()
+	defer kv.mu.RUnlock()
+	return kv.writes
+}
+
+// recordWireBytes is the AOF record size: interval + key + counters.
+const recordWireBytes = 8 + 13 + 8*4 + 8 + 8 + 4
+
+func writeRecord(w io.Writer, intervalTs int64, hr HostRecord) error {
+	var buf [recordWireBytes]byte
+	b := buf[:0]
+	b = binary.BigEndian.AppendUint64(b, uint64(intervalTs))
+	b = binary.BigEndian.AppendUint32(b, uint32(hr.Key.LoIP))
+	b = binary.BigEndian.AppendUint32(b, uint32(hr.Key.HiIP))
+	b = binary.BigEndian.AppendUint16(b, hr.Key.LoPort)
+	b = binary.BigEndian.AppendUint16(b, hr.Key.HiPort)
+	b = append(b, byte(hr.Key.Proto))
+	b = binary.BigEndian.AppendUint64(b, hr.Pkts)
+	b = binary.BigEndian.AppendUint64(b, hr.Bytes)
+	b = binary.BigEndian.AppendUint64(b, uint64(hr.FirstTs))
+	b = binary.BigEndian.AppendUint64(b, uint64(hr.LastTs))
+	b = binary.BigEndian.AppendUint64(b, hr.State)
+	b = binary.BigEndian.AppendUint64(b, uint64(hr.StateTs))
+	b = binary.BigEndian.AppendUint32(b, uint32(hr.Exports))
+	_, err := w.Write(b)
+	return err
+}
+
+// ReadRecords parses an append-only log produced with an AOF-backed store.
+func ReadRecords(r io.Reader) (map[int64][]HostRecord, error) {
+	br := bufio.NewReader(r)
+	out := map[int64][]HostRecord{}
+	var buf [recordWireBytes]byte
+	for {
+		_, err := io.ReadFull(br, buf[:])
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, fmt.Errorf("host: reading AOF record: %w", err)
+		}
+		b := buf[:]
+		ts := int64(binary.BigEndian.Uint64(b[0:8]))
+		var hr HostRecord
+		hr.Key.LoIP = packet.Addr(binary.BigEndian.Uint32(b[8:12]))
+		hr.Key.HiIP = packet.Addr(binary.BigEndian.Uint32(b[12:16]))
+		hr.Key.LoPort = binary.BigEndian.Uint16(b[16:18])
+		hr.Key.HiPort = binary.BigEndian.Uint16(b[18:20])
+		hr.Key.Proto = packet.Proto(b[20])
+		hr.Pkts = binary.BigEndian.Uint64(b[21:29])
+		hr.Bytes = binary.BigEndian.Uint64(b[29:37])
+		hr.FirstTs = int64(binary.BigEndian.Uint64(b[37:45]))
+		hr.LastTs = int64(binary.BigEndian.Uint64(b[45:53]))
+		hr.State = binary.BigEndian.Uint64(b[53:61])
+		hr.StateTs = int64(binary.BigEndian.Uint64(b[61:69]))
+		hr.Exports = int(binary.BigEndian.Uint32(b[69:73]))
+		out[ts] = append(out[ts], hr)
+	}
+}

@@ -1,0 +1,139 @@
+package host
+
+import "fmt"
+
+// TimingWheel is a hashed timing wheel after Varghese & Lauck (SOSP '87),
+// the structure the paper's host NF uses to buffer potentially forged TCP
+// RST packets for T = 2 s: the packet is released to its destination when
+// the timer expires, or discarded early if a race with genuine data proves
+// the RST forged.
+//
+// Entries carry an opaque payload and a caller-chosen 64-bit key for
+// cancellation and scanning. Time is virtual nanoseconds.
+type TimingWheel struct {
+	slots    []wheelSlot
+	tickNs   int64
+	now      int64 // start of current tick
+	cursor   int
+	size     int
+	scans    uint64 // entries examined by Scan (the cost Fig. 8b measures)
+	overflow []wheelEntry
+}
+
+type wheelSlot struct {
+	entries []wheelEntry
+}
+
+type wheelEntry struct {
+	key      uint64
+	deadline int64
+	rounds   int // full wheel revolutions remaining
+	payload  interface{}
+	dead     bool
+}
+
+// Expired is one released entry.
+type Expired struct {
+	Key      uint64
+	Deadline int64
+	Payload  interface{}
+}
+
+// NewTimingWheel builds a wheel of the given slot count and tick length.
+// The horizon per revolution is slots*tickNs; longer deadlines ride
+// multiple rounds.
+func NewTimingWheel(slots int, tickNs int64) *TimingWheel {
+	if slots < 2 || tickNs <= 0 {
+		panic("host: timing wheel needs >=2 slots and a positive tick")
+	}
+	return &TimingWheel{slots: make([]wheelSlot, slots), tickNs: tickNs}
+}
+
+// Len returns the number of live entries.
+func (w *TimingWheel) Len() int { return w.size }
+
+// Schedule buffers a payload until deadline (virtual ns). Deadlines in the
+// past expire on the next Advance.
+func (w *TimingWheel) Schedule(key uint64, deadline int64, payload interface{}) error {
+	if deadline < w.now {
+		deadline = w.now
+	}
+	ticksAhead := (deadline - w.now) / w.tickNs
+	slot := (w.cursor + int(ticksAhead)) % len(w.slots)
+	rounds := int(ticksAhead) / len(w.slots)
+	w.slots[slot].entries = append(w.slots[slot].entries, wheelEntry{
+		key: key, deadline: deadline, rounds: rounds, payload: payload,
+	})
+	w.size++
+	return nil
+}
+
+// Cancel removes (lazily) all live entries with the key, returning how
+// many were cancelled.
+func (w *TimingWheel) Cancel(key uint64) int {
+	n := 0
+	for si := range w.slots {
+		for i := range w.slots[si].entries {
+			e := &w.slots[si].entries[i]
+			if !e.dead && e.key == key {
+				e.dead = true
+				w.size--
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Scan visits every live entry (the wheel scan whose cost the Bloom filter
+// avoids) and returns those for which pred is true.
+func (w *TimingWheel) Scan(pred func(key uint64, payload interface{}) bool) []Expired {
+	var out []Expired
+	for si := range w.slots {
+		for i := range w.slots[si].entries {
+			e := &w.slots[si].entries[i]
+			if e.dead {
+				continue
+			}
+			w.scans++
+			if pred(e.key, e.payload) {
+				out = append(out, Expired{Key: e.key, Deadline: e.deadline, Payload: e.payload})
+			}
+		}
+	}
+	return out
+}
+
+// ScanCost returns the cumulative entries examined by Scan.
+func (w *TimingWheel) ScanCost() uint64 { return w.scans }
+
+// Advance moves virtual time forward to now, returning entries whose
+// deadlines expired, in slot order.
+func (w *TimingWheel) Advance(now int64) []Expired {
+	if now < w.now {
+		panic(fmt.Sprintf("host: timing wheel moved backwards: %d < %d", now, w.now))
+	}
+	var out []Expired
+	for w.now+w.tickNs <= now {
+		slot := &w.slots[w.cursor]
+		kept := slot.entries[:0]
+		for _, e := range slot.entries {
+			switch {
+			case e.dead:
+			case e.rounds > 0:
+				e.rounds--
+				kept = append(kept, e)
+			default:
+				out = append(out, Expired{Key: e.key, Deadline: e.deadline, Payload: e.payload})
+				w.size--
+			}
+		}
+		slot.entries = kept
+		w.now += w.tickNs
+		w.cursor = (w.cursor + 1) % len(w.slots)
+	}
+	return out
+}
+
+// Now returns the wheel's current virtual time (start of tick).
+func (w *TimingWheel) Now() int64 { return w.now }

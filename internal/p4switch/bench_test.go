@@ -1,0 +1,48 @@
+package p4switch
+
+import (
+	"testing"
+
+	"smartwatch/internal/packet"
+	"smartwatch/internal/stats"
+)
+
+func BenchmarkSwitchProcess(b *testing.B) {
+	sw := New(DefaultConfig())
+	if err := sw.InstallQueries([]Query{sshQuery(), {
+		Name: "syn", Filter: Predicate{Proto: packet.ProtoTCP},
+		Key: KeySrcIP, PrefixBits: 16, Reduce: CountSYN, Threshold: 100, Slots: 1 << 14,
+	}}); err != nil {
+		b.Fatal(err)
+	}
+	_ = sw.Steer(FiredKey{Query: "ssh-conns", Key: packet.MustParseAddr("10.1.0.0"), PrefixBits: 16})
+	rng := stats.NewRand(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := packet.Packet{
+			Tuple: packet.FiveTuple{
+				SrcIP: packet.Addr(rng.Uint64()), DstIP: packet.Addr(rng.Uint64()),
+				SrcPort: uint16(i), DstPort: 22, Proto: packet.ProtoTCP,
+			},
+			Size: 64, Flags: packet.FlagSYN,
+		}
+		sw.Process(&p)
+	}
+}
+
+func BenchmarkEndInterval(b *testing.B) {
+	sw := New(DefaultConfig())
+	q := sshQuery()
+	q.Slots = 1 << 14
+	if err := sw.InstallQueries([]Query{q}); err != nil {
+		b.Fatal(err)
+	}
+	candidates := map[string][]packet.Addr{}
+	for i := 0; i < 4096; i++ {
+		candidates[q.Name] = append(candidates[q.Name], packet.Addr(uint32(i)<<16))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sw.EndInterval(candidates)
+	}
+}

@@ -1,0 +1,106 @@
+package p4switch
+
+import (
+	"strings"
+	"testing"
+
+	"smartwatch/internal/packet"
+)
+
+func TestEmitP4StructureAndSemantics(t *testing.T) {
+	sw := New(DefaultConfig())
+	queries := []Query{
+		sshQuery(),
+		{
+			Name:   "dns-bytes",
+			Filter: Predicate{Proto: packet.ProtoUDP, ServicePort: 53},
+			Key:    KeySrcIP, PrefixBits: 8,
+			Reduce: SumBytes, Threshold: 1 << 20, Slots: 1 << 10,
+		},
+	}
+	if err := sw.InstallQueries(queries); err != nil {
+		t.Fatal(err)
+	}
+	src := sw.EmitP4("smartwatch_test")
+
+	// Structural landmarks of a v1model program.
+	for _, want := range []string{
+		"#include <v1model.p4>",
+		"parser SWParser",
+		"control SWIngress",
+		"V1Switch(",
+		"register<bit<64>>(4096) reg_q0;", // ssh query slots
+		"register<bit<64>>(1024) reg_q1;", // dns query slots
+		"table blacklist",
+		"table whitelist",
+		"table steer_q0",
+		"table steer_q1",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("generated P4 missing %q", want)
+		}
+	}
+	// Query semantics: SSH filter on dst port 22 with a /16 mask; DNS
+	// service port matches either direction and sums bytes.
+	for _, want := range []string{
+		"hdr.l4.dstPort == 22",
+		"32w0xffff0000",
+		"(hdr.l4.dstPort == 53 || hdr.l4.srcPort == 53)",
+		"(bit<64>)hdr.ipv4.totalLen",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("generated P4 missing semantic %q", want)
+		}
+	}
+	// Balanced braces: a cheap well-formedness check.
+	if strings.Count(src, "{") != strings.Count(src, "}") {
+		t.Errorf("unbalanced braces: %d vs %d", strings.Count(src, "{"), strings.Count(src, "}"))
+	}
+}
+
+func TestPrefixMaskLiteral(t *testing.T) {
+	cases := []struct {
+		bits int
+		want string
+	}{
+		{0, "32w0x00000000"}, {8, "32w0xff000000"}, {16, "32w0xffff0000"},
+		{24, "32w0xffffff00"}, {32, "32w0xffffffff"}, {40, "32w0xffffffff"},
+	}
+	for _, c := range cases {
+		if got := prefixMaskLiteral(c.bits); got != c.want {
+			t.Errorf("mask(%d) = %s, want %s", c.bits, got, c.want)
+		}
+	}
+}
+
+func TestControlPlaneEntries(t *testing.T) {
+	sw := New(DefaultConfig())
+	if err := sw.InstallQueries([]Query{sshQuery()}); err != nil {
+		t.Fatal(err)
+	}
+	sw.Blacklist(packet.MustParseAddr("6.6.6.6"))
+	k := packet.FiveTuple{
+		SrcIP: packet.MustParseAddr("1.2.3.4"), DstIP: packet.MustParseAddr("10.0.0.1"),
+		SrcPort: 1000, DstPort: 22, Proto: packet.ProtoTCP,
+	}.Canonical()
+	if err := sw.Whitelist(k); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Steer(FiredKey{Query: "ssh-conns", Key: packet.MustParseAddr("10.1.0.0"), PrefixBits: 16}); err != nil {
+		t.Fatal(err)
+	}
+	entries := sw.ControlPlaneEntries()
+	if len(entries) != 3 {
+		t.Fatalf("entries = %v", entries)
+	}
+	joined := strings.Join(entries, "\n")
+	for _, want := range []string{
+		"table_add blacklist drop_ 6.6.6.6 =>",
+		"table_add steer_q0 steer_to_snic 10.1.0.0/16 =>",
+		"table_add whitelist allow",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("entries missing %q in:\n%s", want, joined)
+		}
+	}
+}

@@ -1,0 +1,306 @@
+package p4switch
+
+import (
+	"fmt"
+	"sort"
+
+	"smartwatch/internal/packet"
+)
+
+// Action is the switch's per-packet forwarding decision.
+type Action uint8
+
+// Actions.
+const (
+	// Forward sends the packet straight to its destination (the bulk of
+	// benign traffic; no sNIC involvement).
+	Forward Action = iota
+	// ToSNIC mirrors the packet through the sNIC-host subsystem
+	// ("bump-in-the-wire" path).
+	ToSNIC
+	// Drop discards the packet (blacklisted source).
+	Drop
+)
+
+// String names the action.
+func (a Action) String() string {
+	switch a {
+	case ToSNIC:
+		return "to-snic"
+	case Drop:
+		return "drop"
+	default:
+		return "forward"
+	}
+}
+
+// Config sizes the switch resources.
+type Config struct {
+	// SRAMBytes is the memory available to monitoring state (the paper
+	// cites ~100 MB-class ASIC SRAM; per-experiment budgets are smaller).
+	SRAMBytes int
+	// Stages bounds the match-action pipeline depth (10–20 on Tofino).
+	Stages int
+	// MaxWhitelist bounds exact-match whitelist entries.
+	MaxWhitelist int
+}
+
+// DefaultConfig returns a Tofino-like resource envelope.
+func DefaultConfig() Config {
+	return Config{SRAMBytes: 100 << 20, Stages: 12, MaxWhitelist: 1 << 16}
+}
+
+// Switch is one programmable switch running monitoring queries alongside
+// its forwarding tables.
+type Switch struct {
+	cfg     Config
+	queries []Query
+	regs    [][]uint64 // [query][slot]
+	// steer holds per-query sets of fired (masked) keys whose subsequent
+	// packets are mirrored to the sNIC.
+	steer map[string]map[packet.Addr]bool
+	// whitelist short-circuits benign flows past steering.
+	whitelist map[packet.FlowKey]bool
+	// blacklist drops confirmed attackers at line rate.
+	blacklist map[packet.Addr]bool
+	stats     SwitchStats
+}
+
+// SwitchStats counts forwarding decisions and register traffic.
+type SwitchStats struct {
+	Forwarded, Steered, Dropped  uint64
+	WhitelistHits, BlacklistHits uint64
+	RegisterOps                  uint64
+	Intervals                    uint64
+}
+
+// New builds a switch; queries are installed with InstallQueries.
+func New(cfg Config) *Switch {
+	if cfg.SRAMBytes <= 0 || cfg.Stages <= 0 {
+		panic("p4switch: invalid config")
+	}
+	return &Switch{
+		cfg:       cfg,
+		steer:     map[string]map[packet.Addr]bool{},
+		whitelist: map[packet.FlowKey]bool{},
+		blacklist: map[packet.Addr]bool{},
+	}
+}
+
+// bytesPerSlot is the register width (a 64-bit counter).
+const bytesPerSlot = 8
+
+// whitelistEntryBytes is the exact-match entry cost (13 B key + overhead).
+const whitelistEntryBytes = 32
+
+// steerEntryBytes is the TCAM/SRAM cost of one steering prefix entry.
+const steerEntryBytes = 16
+
+// stagesPerQuery is the pipeline depth one query consumes (hash, register
+// update, threshold compare).
+const stagesPerQuery = 2
+
+// fixedStages covers forwarding, whitelist, blacklist and steering tables.
+const fixedStages = 4
+
+// InstallQueries replaces the query set (the control loop re-programs the
+// switch between intervals). It fails if the set exceeds the pipeline or
+// SRAM budget; previously collected register state is discarded.
+func (s *Switch) InstallQueries(queries []Query) error {
+	need := fixedStages + stagesPerQuery*len(queries)
+	if need > s.cfg.Stages {
+		return fmt.Errorf("p4switch: %d queries need %d stages, have %d", len(queries), need, s.cfg.Stages)
+	}
+	bytes := 0
+	for _, q := range queries {
+		if err := q.validate(); err != nil {
+			return err
+		}
+		bytes += q.Slots * bytesPerSlot
+	}
+	if total := bytes + s.tableBytes(); total > s.cfg.SRAMBytes {
+		return fmt.Errorf("p4switch: queries need %d B SRAM, have %d", total, s.cfg.SRAMBytes)
+	}
+	s.queries = append([]Query(nil), queries...)
+	s.regs = make([][]uint64, len(queries))
+	for i, q := range queries {
+		s.regs[i] = make([]uint64, q.Slots)
+	}
+	return nil
+}
+
+// Queries returns the installed query set.
+func (s *Switch) Queries() []Query { return append([]Query(nil), s.queries...) }
+
+func (s *Switch) tableBytes() int {
+	n := len(s.whitelist)*whitelistEntryBytes + len(s.blacklist)*steerEntryBytes
+	for _, keys := range s.steer {
+		n += len(keys) * steerEntryBytes
+	}
+	return n
+}
+
+// SRAMBytesUsed reports monitoring-state SRAM occupancy (registers +
+// control tables).
+func (s *Switch) SRAMBytesUsed() int {
+	n := s.tableBytes()
+	for i := range s.regs {
+		n += len(s.regs[i]) * bytesPerSlot
+	}
+	return n
+}
+
+// Occupancy is SRAMBytesUsed over the budget.
+func (s *Switch) Occupancy() float64 {
+	return float64(s.SRAMBytesUsed()) / float64(s.cfg.SRAMBytes)
+}
+
+// Process runs one packet through the pipeline and returns the forwarding
+// decision. Register state for every installed query is updated regardless
+// of the decision (the queries monitor passively).
+func (s *Switch) Process(p *packet.Packet) Action {
+	// Blacklist: confirmed attackers are dropped at line rate.
+	if s.blacklist[p.Tuple.SrcIP] {
+		s.stats.Dropped++
+		s.stats.BlacklistHits++
+		return Drop
+	}
+
+	// Query register updates (constant work per query).
+	for i := range s.queries {
+		q := &s.queries[i]
+		if !q.Filter.Match(p) {
+			continue
+		}
+		amt := q.amount(p)
+		if amt == 0 {
+			continue
+		}
+		slot := packet.HashAddr(q.key(p), uint64(i)+0x9e37) % uint64(len(s.regs[i]))
+		s.regs[i][slot] += amt
+		s.stats.RegisterOps++
+	}
+
+	// Whitelisted flows bypass steering (the hoverboard shortcut).
+	if s.whitelist[p.Key()] {
+		s.stats.Forwarded++
+		s.stats.WhitelistHits++
+		return Forward
+	}
+
+	// Steering: packets of fired subsets go to the sNIC. The rule matches
+	// both directions of the subset (mirror rules are installed for the
+	// key field and its reverse) so responses transit the sNIC too.
+	for i := range s.queries {
+		q := &s.queries[i]
+		keys := s.steer[q.Name]
+		if len(keys) == 0 || !q.Filter.Match(p) {
+			continue
+		}
+		var fwd, rev packet.Addr
+		if q.Key == KeySrcIP {
+			fwd, rev = p.Tuple.SrcIP.Prefix(q.PrefixBits), p.Tuple.DstIP.Prefix(q.PrefixBits)
+		} else {
+			fwd, rev = p.Tuple.DstIP.Prefix(q.PrefixBits), p.Tuple.SrcIP.Prefix(q.PrefixBits)
+		}
+		if keys[fwd] || keys[rev] {
+			s.stats.Steered++
+			return ToSNIC
+		}
+	}
+
+	s.stats.Forwarded++
+	return Forward
+}
+
+// EndInterval closes a monitoring interval: it scans every query's
+// registers, reports slots above threshold (attributed to the keys seen),
+// and clears the registers. Because registers are hash-indexed, aliased
+// keys fire together — the coarse-grained behaviour the sNIC tier refines.
+//
+// The switch cannot invert a hash, so callers pass the candidate keys seen
+// this interval per query (the control plane learns them from the sNIC /
+// sampled packets in real deployments; the simulator passes the exact
+// candidates).
+func (s *Switch) EndInterval(candidates map[string][]packet.Addr) []FiredKey {
+	s.stats.Intervals++
+	var fired []FiredKey
+	for i := range s.queries {
+		q := &s.queries[i]
+		seen := map[packet.Addr]bool{}
+		for _, k := range candidates[q.Name] {
+			mk := k.Prefix(q.PrefixBits)
+			if seen[mk] {
+				continue
+			}
+			seen[mk] = true
+			slot := packet.HashAddr(mk, uint64(i)+0x9e37) % uint64(len(s.regs[i]))
+			if v := s.regs[i][slot]; v >= q.Threshold {
+				fired = append(fired, FiredKey{Query: q.Name, Key: mk, PrefixBits: q.PrefixBits, Value: v})
+			}
+		}
+		clear(s.regs[i])
+	}
+	sort.Slice(fired, func(a, b int) bool {
+		if fired[a].Query != fired[b].Query {
+			return fired[a].Query < fired[b].Query
+		}
+		return fired[a].Key < fired[b].Key
+	})
+	return fired
+}
+
+// Steer installs mirror entries so subsequent packets of the fired subset
+// go to the sNIC. It fails when SRAM is exhausted.
+func (s *Switch) Steer(fk FiredKey) error {
+	if s.SRAMBytesUsed()+steerEntryBytes > s.cfg.SRAMBytes {
+		return fmt.Errorf("p4switch: SRAM exhausted installing steer entry")
+	}
+	m := s.steer[fk.Query]
+	if m == nil {
+		m = map[packet.Addr]bool{}
+		s.steer[fk.Query] = m
+	}
+	m[fk.Key] = true
+	return nil
+}
+
+// Unsteer removes a mirror entry (subset reclassified as benign).
+func (s *Switch) Unsteer(query string, key packet.Addr) {
+	delete(s.steer[query], key)
+}
+
+// SteerCount returns the installed mirror-entry count.
+func (s *Switch) SteerCount() int {
+	n := 0
+	for _, m := range s.steer {
+		n += len(m)
+	}
+	return n
+}
+
+// Whitelist installs an exact-match benign-flow entry; packets of the flow
+// bypass sNIC steering from now on. It fails when the table is full or
+// SRAM is exhausted.
+func (s *Switch) Whitelist(k packet.FlowKey) error {
+	if len(s.whitelist) >= s.cfg.MaxWhitelist {
+		return fmt.Errorf("p4switch: whitelist full (%d entries)", s.cfg.MaxWhitelist)
+	}
+	if s.SRAMBytesUsed()+whitelistEntryBytes > s.cfg.SRAMBytes {
+		return fmt.Errorf("p4switch: SRAM exhausted installing whitelist entry")
+	}
+	s.whitelist[k] = true
+	return nil
+}
+
+// WhitelistCount returns the number of whitelisted flows.
+func (s *Switch) WhitelistCount() int { return len(s.whitelist) }
+
+// Blacklist installs a drop rule for the source address.
+func (s *Switch) Blacklist(a packet.Addr) { s.blacklist[a] = true }
+
+// Blacklisted reports whether the address is blocked.
+func (s *Switch) Blacklisted(a packet.Addr) bool { return s.blacklist[a] }
+
+// Stats returns the cumulative decision counters.
+func (s *Switch) Stats() SwitchStats { return s.stats }

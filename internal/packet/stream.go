@@ -1,0 +1,55 @@
+package packet
+
+import "iter"
+
+// Stream is a lazily produced sequence of packets in non-decreasing
+// timestamp order. Trace generators, pcap readers and the simulators all
+// speak Stream so multi-gigapacket traces never need to be resident in
+// memory.
+type Stream = iter.Seq[Packet]
+
+// StreamOf adapts an in-memory trace to a Stream.
+func StreamOf(pkts []Packet) Stream {
+	return func(yield func(Packet) bool) {
+		for _, p := range pkts {
+			if !yield(p) {
+				return
+			}
+		}
+	}
+}
+
+// Collect drains a stream into a slice. Intended for tests and small
+// traces.
+func Collect(s Stream) []Packet {
+	var out []Packet
+	for p := range s {
+		out = append(out, p)
+	}
+	return out
+}
+
+// Count consumes a stream and returns its length.
+func Count(s Stream) int64 {
+	var n int64
+	for range s {
+		n++
+	}
+	return n
+}
+
+// Limit passes through at most n packets.
+func Limit(s Stream, n int64) Stream {
+	return func(yield func(Packet) bool) {
+		var seen int64
+		for p := range s {
+			if seen >= n {
+				return
+			}
+			seen++
+			if !yield(p) {
+				return
+			}
+		}
+	}
+}

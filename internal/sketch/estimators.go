@@ -1,0 +1,163 @@
+package sketch
+
+import "smartwatch/internal/packet"
+
+// Evaluation helpers shared by the volumetric-analysis experiments
+// (Fig. 10): exact ground truth, mean relative error, heavy-change
+// detection and flow-size-distribution error, each usable against any
+// FlowCounter (sketches or SmartWatch's lossless flow log).
+
+// Exact is an exact per-flow packet count, the ground truth the paper's
+// accuracy plots compare against.
+type Exact map[packet.FlowKey]uint64
+
+// CountExact tallies a stream exactly.
+func CountExact(s packet.Stream) Exact {
+	e := Exact{}
+	for p := range s {
+		e[p.Key()]++
+	}
+	return e
+}
+
+// Total returns the total packet count.
+func (e Exact) Total() uint64 {
+	var t uint64
+	for _, c := range e {
+		t += c
+	}
+	return t
+}
+
+// HeavyHitters returns flows with true count >= threshold.
+func (e Exact) HeavyHitters(threshold uint64) []HeavyHitter {
+	var out []HeavyHitter
+	for k, c := range e {
+		if c >= threshold {
+			out = append(out, HeavyHitter{Key: k, Count: c})
+		}
+	}
+	return out
+}
+
+// MeanRelativeError evaluates a counter against ground truth over the
+// given keys: mean over keys of |est - true| / true.
+func MeanRelativeError(truth Exact, est FlowCounter, keys []packet.FlowKey) float64 {
+	if len(keys) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, k := range keys {
+		tr := float64(truth[k])
+		if tr == 0 {
+			continue
+		}
+		es := float64(est.Estimate(k))
+		d := es - tr
+		if d < 0 {
+			d = -d
+		}
+		sum += d / tr
+	}
+	return sum / float64(len(keys))
+}
+
+// HeavyChangeKeys returns the flows whose count changed by at least
+// threshold between two intervals.
+func HeavyChangeKeys(prev, cur Exact, threshold uint64) []packet.FlowKey {
+	var out []packet.FlowKey
+	seen := map[packet.FlowKey]bool{}
+	diff := func(a, b uint64) uint64 {
+		if a > b {
+			return a - b
+		}
+		return b - a
+	}
+	for k, c := range cur {
+		if diff(c, prev[k]) >= threshold {
+			out = append(out, k)
+			seen[k] = true
+		}
+	}
+	for k, c := range prev {
+		if !seen[k] && diff(c, cur[k]) >= threshold {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// HeavyChangeError evaluates estimated change magnitudes against true
+// change magnitudes over the true heavy-change keys.
+func HeavyChangeError(prevTruth, curTruth Exact, prevEst, curEst FlowCounter, threshold uint64) float64 {
+	keys := HeavyChangeKeys(prevTruth, curTruth, threshold)
+	if len(keys) == 0 {
+		return 0
+	}
+	sum := 0.0
+	diff := func(a, b uint64) float64 {
+		if a > b {
+			return float64(a - b)
+		}
+		return float64(b - a)
+	}
+	for _, k := range keys {
+		tr := diff(curTruth[k], prevTruth[k])
+		if tr == 0 {
+			continue
+		}
+		es := diff(curEst.Estimate(k), prevEst.Estimate(k))
+		d := es - tr
+		if d < 0 {
+			d = -d
+		}
+		sum += d / tr
+	}
+	return sum / float64(len(keys))
+}
+
+// FSDBucket is one decade bucket of the flow-size distribution
+// (10^i..10^(i+1) packets).
+type FSDBucket struct {
+	Lo, Hi uint64
+	// TrueFlows and EstFlows count flows falling in the decade.
+	TrueFlows, EstFlows int
+	// MRE is the mean relative error of per-flow estimates in the decade.
+	MRE float64
+}
+
+// FlowSizeDistributionError computes per-decade MRE (Fig. 10c): flows are
+// grouped by *true* size decade, and each flow's estimate is compared to
+// its true count.
+func FlowSizeDistributionError(truth Exact, est FlowCounter, decades int) []FSDBucket {
+	out := make([]FSDBucket, decades)
+	lo := uint64(1)
+	for i := range out {
+		out[i] = FSDBucket{Lo: lo, Hi: lo * 10}
+		lo *= 10
+	}
+	sums := make([]float64, decades)
+	for k, tr := range truth {
+		d := 0
+		for v := tr; v >= 10 && d < decades-1; v /= 10 {
+			d++
+		}
+		b := &out[d]
+		b.TrueFlows++
+		es := float64(est.Estimate(k))
+		rel := (es - float64(tr)) / float64(tr)
+		if rel < 0 {
+			rel = -rel
+		}
+		sums[d] += rel
+		if est.Estimate(k) >= b.Lo && est.Estimate(k) < b.Hi {
+			b.EstFlows++
+		}
+	}
+	for i := range out {
+		if out[i].TrueFlows > 0 {
+			out[i].MRE = sums[i] / float64(out[i].TrueFlows)
+		}
+	}
+	return out
+}

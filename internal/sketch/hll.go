@@ -1,0 +1,72 @@
+package sketch
+
+import (
+	"math"
+	"math/bits"
+)
+
+// HLL is a HyperLogLog cardinality estimator. SmartWatch's offline
+// analysis (Table 2 "Cardinality") estimates distinct-flow counts from the
+// exported flow logs; HLL is the standard baseline for doing the same in
+// one pass with bounded memory.
+type HLL struct {
+	registers []uint8
+	precision uint8
+}
+
+// NewHLL returns an estimator with 2^precision registers; precision must
+// be in [4,16]. Standard error ~ 1.04/sqrt(2^precision).
+func NewHLL(precision uint8) *HLL {
+	if precision < 4 || precision > 16 {
+		panic("sketch: HLL precision must be in [4,16]")
+	}
+	return &HLL{registers: make([]uint8, 1<<precision), precision: precision}
+}
+
+// Add folds one 64-bit hashed item in.
+func (h *HLL) Add(hash uint64) {
+	idx := hash >> (64 - h.precision)
+	rest := hash<<h.precision | 1<<(h.precision-1) // guard bit
+	rank := uint8(bits.LeadingZeros64(rest)) + 1
+	if rank > h.registers[idx] {
+		h.registers[idx] = rank
+	}
+}
+
+// Estimate returns the cardinality estimate with the standard small-range
+// (linear counting) correction.
+func (h *HLL) Estimate() float64 {
+	m := float64(len(h.registers))
+	var sum float64
+	zeros := 0
+	for _, r := range h.registers {
+		sum += 1 / float64(uint64(1)<<r)
+		if r == 0 {
+			zeros++
+		}
+	}
+	alpha := 0.7213 / (1 + 1.079/m)
+	est := alpha * m * m / sum
+	if est <= 2.5*m && zeros > 0 {
+		est = m * math.Log(m/float64(zeros))
+	}
+	return est
+}
+
+// MemoryBytes returns the register footprint.
+func (h *HLL) MemoryBytes() int { return len(h.registers) }
+
+// Reset clears the registers.
+func (h *HLL) Reset() { clear(h.registers) }
+
+// Merge unions another estimator into this one (same precision required).
+func (h *HLL) Merge(o *HLL) {
+	if h.precision != o.precision {
+		panic("sketch: merging HLLs of different precision")
+	}
+	for i, r := range o.registers {
+		if r > h.registers[i] {
+			h.registers[i] = r
+		}
+	}
+}

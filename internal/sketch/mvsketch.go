@@ -1,0 +1,114 @@
+package sketch
+
+import "smartwatch/internal/packet"
+
+// MVSketch implements the invertible majority-vote sketch of Tang, Huang &
+// Lee (INFOCOM '19). Each bucket keeps a total count V, a candidate heavy
+// key K and the candidate's vote margin C, updated with the Boyer–Moore
+// majority rule; heavy flows can be enumerated directly from the buckets.
+type MVSketch struct {
+	buckets [][]mvBucket
+	w, d    int
+	seeds   []uint64
+	profile OpProfile
+}
+
+type mvBucket struct {
+	total     uint64
+	candidate packet.FlowKey
+	margin    int64
+	occupied  bool
+}
+
+// NewMVSketch returns a sketch with d rows of w buckets.
+func NewMVSketch(w, d int) *MVSketch {
+	if w <= 0 || d <= 0 {
+		panic("sketch: MVSketch dimensions must be positive")
+	}
+	mv := &MVSketch{w: w, d: d, seeds: make([]uint64, d), buckets: make([][]mvBucket, d)}
+	for i := range mv.buckets {
+		mv.buckets[i] = make([]mvBucket, w)
+		mv.seeds[i] = uint64(i)*0xd6e8feb86659fd93 + 7
+	}
+	return mv
+}
+
+// Update applies the majority-vote rule in every row.
+func (mv *MVSketch) Update(k packet.FlowKey, n uint64) {
+	mv.profile.Updates++
+	for i := 0; i < mv.d; i++ {
+		b := &mv.buckets[i][k.HashSeed(mv.seeds[i])%uint64(mv.w)]
+		mv.profile.Hashes++
+		mv.profile.MemReads++
+		mv.profile.MemWrites++
+		b.total += n
+		switch {
+		case !b.occupied:
+			b.candidate, b.margin, b.occupied = k, int64(n), true
+		case b.candidate == k:
+			b.margin += int64(n)
+		default:
+			b.margin -= int64(n)
+			if b.margin < 0 {
+				b.candidate, b.margin = k, -b.margin
+			}
+		}
+	}
+}
+
+// Estimate returns the MV-Sketch point estimate: for the candidate key the
+// estimate is (V+C)/2, otherwise (V-C)/2, minimised over rows.
+func (mv *MVSketch) Estimate(k packet.FlowKey) uint64 {
+	est := ^uint64(0)
+	for i := 0; i < mv.d; i++ {
+		b := &mv.buckets[i][k.HashSeed(mv.seeds[i])%uint64(mv.w)]
+		var e uint64
+		if b.occupied && b.candidate == k {
+			e = (b.total + uint64(b.margin)) / 2
+		} else {
+			m := uint64(0)
+			if b.margin > 0 {
+				m = uint64(b.margin)
+			}
+			e = (b.total - m) / 2
+		}
+		if e < est {
+			est = e
+		}
+	}
+	return est
+}
+
+// HeavyHitters enumerates candidate keys whose estimate crosses the
+// threshold (deduplicated across rows).
+func (mv *MVSketch) HeavyHitters(threshold uint64) []HeavyHitter {
+	seen := map[packet.FlowKey]bool{}
+	var out []HeavyHitter
+	for i := 0; i < mv.d; i++ {
+		for j := range mv.buckets[i] {
+			b := &mv.buckets[i][j]
+			if !b.occupied || seen[b.candidate] {
+				continue
+			}
+			if est := mv.Estimate(b.candidate); est >= threshold {
+				seen[b.candidate] = true
+				out = append(out, HeavyHitter{Key: b.candidate, Count: est})
+			}
+		}
+	}
+	return out
+}
+
+// Ops returns the cumulative operation profile.
+func (mv *MVSketch) Ops() OpProfile { return mv.profile }
+
+// MemoryBytes returns the bucket array footprint (~32 B per bucket).
+func (mv *MVSketch) MemoryBytes() int { return mv.w * mv.d * 32 }
+
+// Reset clears all buckets.
+func (mv *MVSketch) Reset() {
+	for i := range mv.buckets {
+		clear(mv.buckets[i])
+	}
+	mv.profile = OpProfile{}
+}

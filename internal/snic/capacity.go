@@ -1,0 +1,49 @@
+package snic
+
+import "smartwatch/internal/packet"
+
+// RetimeUniform re-times a stream to a fixed offered rate (packets/second
+// of virtual time) with uniform inter-arrival gaps — the MoonGen-style
+// constant-rate replay used by the paper's stress tests.
+func RetimeUniform(s packet.Stream, pps float64) packet.Stream {
+	if pps <= 0 {
+		panic("snic: RetimeUniform needs a positive rate")
+	}
+	gap := 1e9 / pps
+	return func(yield func(packet.Packet) bool) {
+		i := 0
+		for p := range s {
+			p.Ts = int64(float64(i) * gap)
+			i++
+			if !yield(p) {
+				return
+			}
+		}
+	}
+}
+
+// CapacityProbe binary-searches the highest offered rate (in Mpps) the
+// datapath sustains with loss below maxLoss. makeEngine must return a
+// fresh engine (and fresh application state) per probe; trace returns the
+// workload re-timed to the probed rate.
+func CapacityProbe(makeEngine func() *Engine, trace func(pps float64) packet.Stream, loMpps, hiMpps, maxLoss float64) float64 {
+	lossAt := func(mpps float64) float64 {
+		rep := makeEngine().Run(trace(mpps * 1e6))
+		return rep.LossRate()
+	}
+	if lossAt(loMpps) > maxLoss {
+		return loMpps
+	}
+	if lossAt(hiMpps) <= maxLoss {
+		return hiMpps
+	}
+	for hiMpps-loMpps > 0.5 {
+		mid := (loMpps + hiMpps) / 2
+		if lossAt(mid) <= maxLoss {
+			loMpps = mid
+		} else {
+			hiMpps = mid
+		}
+	}
+	return loMpps
+}

@@ -1,0 +1,215 @@
+package snic
+
+import (
+	"container/heap"
+
+	"smartwatch/internal/packet"
+	"smartwatch/internal/stats"
+)
+
+// Cost is what processing one packet costs on the sNIC, reported by the
+// application handler (FlowCache update + any in-line detectors).
+type Cost struct {
+	// Reads / Writes are abstract memory operations (the FlowCache's
+	// Result counts map directly).
+	Reads, Writes int
+	// ExtraCycles is additional engine work (detector logic).
+	ExtraCycles float64
+	// Drop marks the packet as consumed without forwarding (e.g. blocked
+	// by an IPS verdict); it is costed normally.
+	Drop bool
+}
+
+// Ctx carries per-packet datapath observations into the handler.
+type Ctx struct {
+	// QueueDelayNs is the time the packet spent queued before a thread
+	// picked it up — the "current timestamp minus MAC ingress timestamp"
+	// the microburst detector thresholds on.
+	QueueDelayNs float64
+}
+
+// Handler is the application logic the simulator charges for: it sees
+// every dispatched packet in arrival order and returns its cost.
+type Handler func(p *packet.Packet, ctx Ctx) Cost
+
+// Config tunes the simulation.
+type Config struct {
+	// Profile is the hardware model.
+	Profile Profile
+	// QueueDropNs bounds per-packet queueing delay; packets that would
+	// wait longer are dropped at the input buffer (loss under overload).
+	QueueDropNs float64
+	// LatencySamples caps the latency reservoir (default 1<<16).
+	LatencySamples int
+	// Observer, when set, is called after each processed packet with its
+	// modelled completion latency — experiments use it to pair latency
+	// with per-packet application outcomes (e.g. FlowCache hit vs miss).
+	Observer func(p *packet.Packet, latencyNs float64)
+}
+
+// DefaultConfig returns a Netronome simulation with a 20 µs input buffer
+// (~860 packets at line rate, a typical NIC RX ring depth).
+func DefaultConfig() Config {
+	return Config{Profile: Netronome(), QueueDropNs: 20e3}
+}
+
+// Report summarises one simulation run.
+type Report struct {
+	Processed, Dropped uint64
+	// OfferedMpps / AchievedMpps are packet rates over the trace span.
+	OfferedMpps, AchievedMpps float64
+	// Latency is the per-packet latency distribution (ns), arrival to
+	// completion, for processed packets.
+	Latency *stats.Quantiles
+	// EngineBusyNs is summed engine occupancy, for utilisation reporting.
+	EngineBusyNs float64
+	// SpanNs is the trace duration (last completion - first arrival).
+	SpanNs float64
+}
+
+// Utilization returns mean engine utilisation across PMEs.
+func (r Report) Utilization(p Profile) float64 {
+	if r.SpanNs == 0 {
+		return 0
+	}
+	return r.EngineBusyNs / (r.SpanNs * float64(p.PMEs))
+}
+
+// LossRate returns the dropped fraction.
+func (r Report) LossRate() float64 {
+	t := r.Processed + r.Dropped
+	if t == 0 {
+		return 0
+	}
+	return float64(r.Dropped) / float64(t)
+}
+
+// threadHeap orders micro-engine threads by next-free time: the global
+// load balancer always hands the packet to the earliest-available thread.
+type threadSlot struct {
+	freeNs float64
+	pme    int
+}
+
+type threadHeap []threadSlot
+
+func (h threadHeap) Len() int            { return len(h) }
+func (h threadHeap) Less(i, j int) bool  { return h[i].freeNs < h[j].freeNs }
+func (h threadHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *threadHeap) Push(x interface{}) { *h = append(*h, x.(threadSlot)) }
+func (h *threadHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Engine is the discrete-event sNIC simulator.
+type Engine struct {
+	cfg        Config
+	handler    Handler
+	threads    threadHeap
+	engineFree []float64 // per-PME engine availability
+	dispatch   float64   // scatter-gather front-end availability
+}
+
+// New builds a simulator; handler must not be nil.
+func New(cfg Config, handler Handler) *Engine {
+	if handler == nil {
+		panic("snic: nil handler")
+	}
+	if cfg.Profile.PMEs < 1 || cfg.Profile.ThreadsPerPME < 1 {
+		panic("snic: profile needs at least one PME thread")
+	}
+	if cfg.QueueDropNs <= 0 {
+		cfg.QueueDropNs = 100e3
+	}
+	e := &Engine{cfg: cfg, handler: handler}
+	e.engineFree = make([]float64, cfg.Profile.PMEs)
+	for pme := 0; pme < cfg.Profile.PMEs; pme++ {
+		for t := 0; t < cfg.Profile.ThreadsPerPME; t++ {
+			e.threads = append(e.threads, threadSlot{pme: pme})
+		}
+	}
+	heap.Init(&e.threads)
+	return e
+}
+
+// Run replays the stream through the datapath and returns the report.
+func (e *Engine) Run(s packet.Stream) Report {
+	prof := e.cfg.Profile
+	rep := Report{Latency: stats.NewQuantiles(e.cfg.LatencySamples)}
+	var firstTs, lastDone float64
+	first := true
+
+	for p := range s {
+		arrival := float64(p.Ts)
+		if first {
+			firstTs, first = arrival, false
+		}
+
+		// Scatter-gather front end: fixed per-packet service.
+		dispatchStart := arrival
+		if e.dispatch > dispatchStart {
+			dispatchStart = e.dispatch
+		}
+		if dispatchStart-arrival > e.cfg.QueueDropNs {
+			rep.Dropped++
+			continue
+		}
+		e.dispatch = dispatchStart + prof.DispatchNsPerPkt
+		ready := e.dispatch
+
+		// Global load balancer: earliest-available thread.
+		slot := e.threads[0]
+		start := ready
+		if slot.freeNs > start {
+			start = slot.freeNs
+		}
+		if start-arrival > e.cfg.QueueDropNs {
+			// Input buffer overrun: the packet is lost before processing.
+			rep.Dropped++
+			continue
+		}
+
+		cost := e.handler(&p, Ctx{QueueDelayNs: start - arrival})
+		cycles := prof.BaseCycles +
+			prof.CyclesPerRead*float64(cost.Reads) +
+			prof.CyclesPerWrite*float64(cost.Writes) +
+			cost.ExtraCycles
+		engineTime := cycles / prof.ClockHz * 1e9
+
+		engineStart := start
+		if e.engineFree[slot.pme] > engineStart {
+			engineStart = e.engineFree[slot.pme]
+		}
+		engineEnd := engineStart + engineTime
+		e.engineFree[slot.pme] = engineEnd
+		// The packet's thread additionally waits out its DRAM reads
+		// (yielding the engine to sibling threads meanwhile).
+		threadEnd := engineEnd + float64(cost.Reads)*prof.ReadNs
+
+		slot.freeNs = threadEnd
+		e.threads[0] = slot
+		heap.Fix(&e.threads, 0)
+
+		rep.Processed++
+		rep.EngineBusyNs += engineTime
+		rep.Latency.Add(threadEnd - arrival)
+		if e.cfg.Observer != nil {
+			e.cfg.Observer(&p, threadEnd-arrival)
+		}
+		if threadEnd > lastDone {
+			lastDone = threadEnd
+		}
+	}
+
+	rep.SpanNs = lastDone - firstTs
+	if rep.SpanNs > 0 {
+		total := float64(rep.Processed + rep.Dropped)
+		rep.OfferedMpps = total / rep.SpanNs * 1e3
+		rep.AchievedMpps = float64(rep.Processed) / rep.SpanNs * 1e3
+	}
+	return rep
+}

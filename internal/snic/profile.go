@@ -1,0 +1,94 @@
+// Package snic is a discrete-event simulator of a SmartNIC datapath in the
+// style the SmartWatch paper itself uses for its §4.1 generality study: a
+// trace-driven cycle model parameterised by each NIC's clock rate, core
+// count and memory-access latencies (Table 3). Packets are dispatched by a
+// global load balancer to micro-engine threads that run to completion;
+// reads yield the calling thread (other threads keep the engine busy)
+// while writes stall the engine — the asymmetry behind the FlowCache's
+// read-heavy/write-once bucket design.
+//
+// All time is virtual nanoseconds; results are deterministic and
+// machine-independent. testing.B benchmarks measure the simulator's own
+// speed, while the Report carries the modelled Mpps/latency figures the
+// paper plots.
+package snic
+
+// Profile is one SmartNIC hardware model. The cycle constants are
+// calibrated so the simulated FlowCache reproduces the paper's measured
+// operating points (General mode lossless to ~30 Mpps, Lite to the 43 Mpps
+// 64 B line rate on the Netronome; 40.7 / 42.2 Mpps predicted for
+// BlueField / LiquidIO in Table 3).
+type Profile struct {
+	// Name identifies the NIC.
+	Name string
+	// ClockHz is the micro-engine clock.
+	ClockHz float64
+	// PMEs is the number of micro-engines available for packet processing;
+	// CMEs are reserved for custom/background processing (mode switching,
+	// KS tests, microburst scans).
+	PMEs, CMEs int
+	// ThreadsPerPME is the hardware thread count per engine (4 on the
+	// NFP-6000: a read yields to the next thread).
+	ThreadsPerPME int
+	// ReadNs is the DRAM read latency a packet's thread waits out (engine
+	// stays busy with other threads).
+	ReadNs float64
+	// BaseCycles / CyclesPerRead / CyclesPerWrite are engine-occupancy
+	// costs per packet: fixed parse+match-action work, per-bucket probe
+	// issue+compare cost, and write cost including the non-yielding stall.
+	BaseCycles, CyclesPerRead, CyclesPerWrite float64
+	// DispatchNsPerPkt models the packet scatter-gather front end that
+	// caps the Netronome at 43 Mpps for 64 B packets even with no
+	// processing (§2.3.2).
+	DispatchNsPerPkt float64
+	// DRAMBytes is the memory available for the FlowCache.
+	DRAMBytes int64
+}
+
+// Netronome returns the Agilio LX profile the paper's testbed uses:
+// 96 flow-processing cores of which 80 are usable as MEs (the paper
+// reserves 3 of those as CMEs), 1.2 GHz, 8 GB DRAM.
+func Netronome() Profile {
+	return Profile{
+		Name: "netronome-agilio-lx", ClockHz: 1.2e9,
+		PMEs: 77, CMEs: 3, ThreadsPerPME: 4,
+		ReadNs:     137,
+		BaseCycles: 1200, CyclesPerRead: 120, CyclesPerWrite: 350,
+		DispatchNsPerPkt: 23.2, // 1/43 Mpps
+		DRAMBytes:        8 << 30,
+	}
+}
+
+// BlueField returns the NVIDIA/Mellanox BlueField MBF1L516A profile:
+// 16 ARM A72 cores at 2.5 GHz with large caches, so per-operation costs
+// are lower but parallelism is narrower (Table 3).
+func BlueField() Profile {
+	return Profile{
+		Name: "bluefield-mbf1l516a", ClockHz: 2.5e9,
+		PMEs: 16, CMEs: 0, ThreadsPerPME: 4,
+		ReadNs:     132,
+		BaseCycles: 750, CyclesPerRead: 60, CyclesPerWrite: 120,
+		DispatchNsPerPkt: 23.2,
+		DRAMBytes:        16 << 30,
+	}
+}
+
+// LiquidIO returns the Marvell LiquidIO III / OCTEON TX2 profile:
+// 36 cores at 2.2 GHz, 24 MB L2 (Table 3).
+func LiquidIO() Profile {
+	return Profile{
+		Name: "liquidio-octeon-tx2", ClockHz: 2.2e9,
+		PMEs: 36, CMEs: 0, ThreadsPerPME: 4,
+		ReadNs:     115,
+		BaseCycles: 1440, CyclesPerRead: 120, CyclesPerWrite: 220,
+		DispatchNsPerPkt: 23.2,
+		DRAMBytes:        16 << 30,
+	}
+}
+
+// WithPMEs returns a copy of the profile with the packet-engine count
+// overridden (the Fig. 6b PME sweep).
+func (p Profile) WithPMEs(n int) Profile {
+	p.PMEs = n
+	return p
+}

@@ -1,0 +1,387 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEWMA(t *testing.T) {
+	e := NewEWMA(0.75)
+	if e.Primed() {
+		t.Error("fresh EWMA should be unprimed")
+	}
+	if got := e.Update(10); got != 10 {
+		t.Errorf("first update = %g, want 10 (seed)", got)
+	}
+	got := e.Update(20)
+	want := 0.75*20 + 0.25*10
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("second update = %g, want %g", got, want)
+	}
+	e.Reset()
+	if e.Primed() || e.Value() != 0 {
+		t.Error("Reset failed")
+	}
+}
+
+func TestEWMAPanicsOnBadAlpha(t *testing.T) {
+	for _, a := range []float64{0, -1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewEWMA(%g) should panic", a)
+				}
+			}()
+			NewEWMA(a)
+		}()
+	}
+}
+
+func TestRateMeter(t *testing.T) {
+	m := NewRateMeter(1.0, 1e9) // 1s windows, no smoothing memory
+	// 100 events in the first second.
+	for i := int64(0); i < 100; i++ {
+		m.Observe(i*1e7, 1)
+	}
+	// Crossing into the second window folds the first in.
+	m.Observe(1e9, 1)
+	if got := m.Rate(); math.Abs(got-100) > 1e-9 {
+		t.Errorf("rate = %g, want 100", got)
+	}
+	// Idle windows decay the rate to zero with alpha=1.
+	m.Observe(5e9, 1)
+	if got := m.Rate(); got > 1.1 {
+		t.Errorf("rate after idle gap = %g, want ~0-1", got)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Errorf("N = %d", s.N())
+	}
+	if math.Abs(s.Mean()-5) > 1e-12 {
+		t.Errorf("Mean = %g, want 5", s.Mean())
+	}
+	// Sample variance of this classic dataset is 32/7.
+	if math.Abs(s.Var()-32.0/7) > 1e-12 {
+		t.Errorf("Var = %g, want %g", s.Var(), 32.0/7)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("Min/Max = %g/%g", s.Min(), s.Max())
+	}
+}
+
+func TestQuantilesExactSmall(t *testing.T) {
+	q := NewQuantiles(1000)
+	for i := 1; i <= 100; i++ {
+		q.Add(float64(i))
+	}
+	cases := []struct{ p, want float64 }{{0, 1}, {1, 100}, {0.5, 50.5}}
+	for _, c := range cases {
+		if got := q.Quantile(c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Quantile(%g) = %g, want %g", c.p, got, c.want)
+		}
+	}
+	if got := q.Percentile(99); got < 98 || got > 100 {
+		t.Errorf("P99 = %g", got)
+	}
+}
+
+func TestQuantilesReservoir(t *testing.T) {
+	q := NewQuantiles(512)
+	for i := 0; i < 100000; i++ {
+		q.Add(float64(i % 1000))
+	}
+	if q.N() != 100000 {
+		t.Errorf("N = %d", q.N())
+	}
+	med := q.Quantile(0.5)
+	if med < 350 || med > 650 {
+		t.Errorf("reservoir median = %g, want ~500", med)
+	}
+	if math.IsNaN(NewQuantiles(4).Quantile(0.5)) != true {
+		t.Error("empty quantiles should be NaN")
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(7), NewRand(7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must give same stream")
+		}
+	}
+	if NewRand(0).Uint64() == 0 {
+		t.Error("zero seed must be remapped")
+	}
+}
+
+func TestRandDistributions(t *testing.T) {
+	r := NewRand(42)
+	var s Summary
+	for i := 0; i < 20000; i++ {
+		s.Add(r.Exp(5))
+	}
+	if math.Abs(s.Mean()-5) > 0.2 {
+		t.Errorf("Exp mean = %g, want ~5", s.Mean())
+	}
+	s = Summary{}
+	for i := 0; i < 20000; i++ {
+		s.Add(r.Normal(10, 2))
+	}
+	if math.Abs(s.Mean()-10) > 0.1 || math.Abs(s.Std()-2) > 0.1 {
+		t.Errorf("Normal = (%g, %g), want (10, 2)", s.Mean(), s.Std())
+	}
+	for i := 0; i < 1000; i++ {
+		if v := r.Pareto(64, 1.2); v < 64 {
+			t.Fatalf("Pareto below scale: %g", v)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := NewRand(1)
+	z := NewZipf(r, 1000, 1.1)
+	counts := make([]int, 1000)
+	n := 100000
+	for i := 0; i < n; i++ {
+		counts[z.Sample()]++
+	}
+	if counts[0] < counts[10] || counts[10] < counts[500] {
+		t.Errorf("Zipf not monotone-ish: c0=%d c10=%d c500=%d", counts[0], counts[10], counts[500])
+	}
+	// Rank 0 should take a visible share under s=1.1.
+	if float64(counts[0])/float64(n) < 0.05 {
+		t.Errorf("rank-0 share too small: %d/%d", counts[0], n)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 100, 10)
+	h.Add(5)
+	h.Add(15)
+	h.AddN(95, 3)
+	h.Add(-10) // clamps to bin 0
+	h.Add(500) // clamps to last bin
+	if h.Total() != 7 {
+		t.Errorf("Total = %d", h.Total())
+	}
+	if h.Counts[0] != 2 || h.Counts[1] != 1 || h.Counts[9] != 4 {
+		t.Errorf("counts = %v", h.Counts)
+	}
+	pdf := h.PDF()
+	sum := 0.0
+	for _, p := range pdf {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("PDF sums to %g", sum)
+	}
+	cdf := h.CDF()
+	if math.Abs(cdf[len(cdf)-1]-1) > 1e-12 {
+		t.Errorf("CDF tail = %g", cdf[len(cdf)-1])
+	}
+	if h.MemoryBytes(4) != 40 {
+		t.Errorf("MemoryBytes = %d", h.MemoryBytes(4))
+	}
+}
+
+func TestHistogramQuantize(t *testing.T) {
+	h := NewHistogram(0, 64, 64)
+	for i := 0; i < 64; i++ {
+		h.AddN(float64(i)+0.5, uint64(i))
+	}
+	q := h.Quantize(3) // merge 8 bins
+	if len(q.Counts) != 8 {
+		t.Fatalf("quantized bins = %d, want 8", len(q.Counts))
+	}
+	if q.Total() != h.Total() {
+		t.Errorf("quantize lost mass: %d vs %d", q.Total(), h.Total())
+	}
+	if q.Counts[0] != 0+1+2+3+4+5+6+7 {
+		t.Errorf("first merged bin = %d", q.Counts[0])
+	}
+	if got := h.Quantize(0); len(got.Counts) != 64 {
+		t.Errorf("QL 0 must preserve resolution")
+	}
+}
+
+func TestKSSameDistribution(t *testing.T) {
+	r := NewRand(3)
+	a := make([]float64, 500)
+	b := make([]float64, 500)
+	for i := range a {
+		a[i] = r.Normal(0, 1)
+		b[i] = r.Normal(0, 1)
+	}
+	_, p, reject := KSTest(a, b, 0.01)
+	if reject {
+		t.Errorf("same-distribution samples rejected, p=%g", p)
+	}
+}
+
+func TestKSDifferentDistribution(t *testing.T) {
+	r := NewRand(3)
+	a := make([]float64, 500)
+	b := make([]float64, 500)
+	for i := range a {
+		a[i] = r.Normal(0, 1)
+		b[i] = r.Normal(2, 1)
+	}
+	stat, p, reject := KSTest(a, b, 0.01)
+	if !reject {
+		t.Errorf("shifted distribution not rejected: D=%g p=%g", stat, p)
+	}
+}
+
+func TestKSEdgeCases(t *testing.T) {
+	if KSStat(nil, []float64{1}) != 0 {
+		t.Error("empty sample KS should be 0")
+	}
+	if p := KSPValue(0, 10, 10); p != 1 {
+		t.Errorf("KSPValue(0) = %g, want 1", p)
+	}
+	if p := KSPValue(0.9, 100, 100); p > 1e-6 {
+		t.Errorf("large D p-value = %g, want ~0", p)
+	}
+}
+
+func TestKSStatHist(t *testing.T) {
+	a := NewHistogram(0, 10, 10)
+	b := NewHistogram(0, 10, 10)
+	for i := 0; i < 100; i++ {
+		a.Add(2.5)
+		b.Add(7.5)
+	}
+	if d := KSStatHist(a, b); d != 1 {
+		t.Errorf("disjoint hist KS = %g, want 1", d)
+	}
+	if d := KSStatHist(a, a.Clone()); d != 0 {
+		t.Errorf("identical hist KS = %g, want 0", d)
+	}
+}
+
+func TestTRWScanner(t *testing.T) {
+	trw := NewTRW(DefaultTRWConfig())
+	v := TRWPending
+	for i := 0; i < 50 && v == TRWPending; i++ {
+		v = trw.Observe(false) // all failures
+	}
+	if v != TRWScanner {
+		t.Errorf("all-failure host verdict = %v, want scanner", v)
+	}
+	// Terminal verdicts are sticky.
+	if trw.Observe(true) != TRWScanner {
+		t.Error("verdict must be sticky")
+	}
+}
+
+func TestTRWBenign(t *testing.T) {
+	trw := NewTRW(DefaultTRWConfig())
+	v := TRWPending
+	for i := 0; i < 50 && v == TRWPending; i++ {
+		v = trw.Observe(true)
+	}
+	if v != TRWBenign {
+		t.Errorf("all-success host verdict = %v, want benign", v)
+	}
+}
+
+// Property: the TRW walk moves up on failure and down on success for any
+// valid configuration.
+func TestTRWMonotonicity(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRand(seed)
+		cfg := TRWConfig{
+			Theta0: 0.6 + 0.35*r.Float64(),
+			Theta1: 0.05 + 0.3*r.Float64(),
+			Alpha:  0.01, Beta: 0.01,
+		}
+		if cfg.Theta1 >= cfg.Theta0 {
+			return true // skip invalid draw
+		}
+		a := NewTRW(cfg)
+		before := a.LogLambda()
+		a.Observe(false)
+		if a.LogLambda() <= before {
+			return false
+		}
+		b := NewTRW(cfg)
+		before = b.LogLambda()
+		b.Observe(true)
+		return b.LogLambda() < before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNaiveBayes(t *testing.T) {
+	nb := NewNaiveBayes(4)
+	if _, _, err := nb.Classify([]uint64{1, 0, 0, 0}); err == nil {
+		t.Error("untrained classifier must error")
+	}
+	if err := nb.Train("siteA", []uint64{100, 10, 1, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := nb.Train("siteB", []uint64{0, 1, 10, 100}); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := nb.Classify([]uint64{50, 5, 0, 0})
+	if err != nil || got != "siteA" {
+		t.Errorf("Classify = %q, %v; want siteA", got, err)
+	}
+	got, _, _ = nb.Classify([]uint64{0, 0, 5, 50})
+	if got != "siteB" {
+		t.Errorf("Classify = %q, want siteB", got)
+	}
+	if err := nb.Train("bad", []uint64{1}); err == nil {
+		t.Error("shape mismatch must error")
+	}
+	if err := nb.Train("empty", []uint64{0, 0, 0, 0}); err == nil {
+		t.Error("empty class must error")
+	}
+}
+
+func TestNaiveBayesHist(t *testing.T) {
+	nb := NewNaiveBayes(8)
+	ha := NewHistogram(0, 8, 8)
+	hb := NewHistogram(0, 8, 8)
+	for i := 0; i < 200; i++ {
+		ha.Add(1.5)
+		hb.Add(6.5)
+	}
+	_ = nb.Train("low", ha.Counts)
+	_ = nb.Train("high", hb.Counts)
+	obs := NewHistogram(0, 8, 8)
+	obs.AddN(1.5, 20)
+	got, _, err := nb.ClassifyHist(obs)
+	if err != nil || got != "low" {
+		t.Errorf("ClassifyHist = %q, %v", got, err)
+	}
+}
+
+func BenchmarkKSStat(b *testing.B) {
+	r := NewRand(1)
+	x := make([]float64, 500)
+	y := make([]float64, 500)
+	for i := range x {
+		x[i], y[i] = r.Normal(0, 1), r.Normal(0.5, 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		KSStat(x, y)
+	}
+}
+
+func BenchmarkZipfSample(b *testing.B) {
+	z := NewZipf(NewRand(1), 100000, 1.2)
+	for i := 0; i < b.N; i++ {
+		z.Sample()
+	}
+}

@@ -1,0 +1,123 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Summary accumulates a running mean and variance using Welford's
+// algorithm, plus min/max. It is the workhorse for latency and throughput
+// reporting in the experiment harnesses.
+type Summary struct {
+	n        int64
+	mean, m2 float64
+	min, max float64
+}
+
+// Add folds one observation in.
+func (s *Summary) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+}
+
+// N returns the observation count.
+func (s *Summary) N() int64 { return s.n }
+
+// Mean returns the running mean (zero with no observations).
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Var returns the sample variance.
+func (s *Summary) Var() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (s *Summary) Std() float64 { return math.Sqrt(s.Var()) }
+
+// Min returns the smallest observation.
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest observation.
+func (s *Summary) Max() float64 { return s.max }
+
+// Quantiles collects observations and answers exact quantile queries. For
+// the trace volumes the simulators produce this is bounded by reservoir
+// sampling above maxSamples entries, which keeps quantile error negligible
+// while capping memory.
+type Quantiles struct {
+	samples []float64
+	seen    int64
+	cap     int
+	sorted  bool
+	rng     *Rand
+}
+
+// NewQuantiles returns a quantile accumulator holding at most maxSamples
+// observations (reservoir-sampled beyond that). maxSamples <= 0 selects a
+// default of 1<<16.
+func NewQuantiles(maxSamples int) *Quantiles {
+	if maxSamples <= 0 {
+		maxSamples = 1 << 16
+	}
+	return &Quantiles{cap: maxSamples, rng: NewRand(0x9e3779b97f4a7c15)}
+}
+
+// Add folds one observation in.
+func (q *Quantiles) Add(x float64) {
+	q.seen++
+	q.sorted = false
+	if len(q.samples) < q.cap {
+		q.samples = append(q.samples, x)
+		return
+	}
+	// Vitter's reservoir: replace a random slot with probability cap/seen.
+	if j := q.rng.Int64N(q.seen); j < int64(q.cap) {
+		q.samples[j] = x
+	}
+}
+
+// N returns the number of observations seen (not retained).
+func (q *Quantiles) N() int64 { return q.seen }
+
+// Quantile returns the p-quantile (0<=p<=1) with linear interpolation, or
+// NaN with no data.
+func (q *Quantiles) Quantile(p float64) float64 {
+	if len(q.samples) == 0 {
+		return math.NaN()
+	}
+	if !q.sorted {
+		sort.Float64s(q.samples)
+		q.sorted = true
+	}
+	if p <= 0 {
+		return q.samples[0]
+	}
+	if p >= 1 {
+		return q.samples[len(q.samples)-1]
+	}
+	pos := p * float64(len(q.samples)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(q.samples) {
+		return q.samples[lo]
+	}
+	return q.samples[lo]*(1-frac) + q.samples[lo+1]*frac
+}
+
+// Percentile is Quantile with p in [0,100].
+func (q *Quantiles) Percentile(p float64) float64 { return q.Quantile(p / 100) }

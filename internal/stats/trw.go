@@ -1,0 +1,111 @@
+package stats
+
+import "math"
+
+// Threshold Random Walk (TRW) sequential hypothesis testing, after
+// Jung, Paxson, Berger & Balakrishnan, "Fast Portscan Detection Using
+// Sequential Hypothesis Testing" (IEEE S&P 2004). Each connection attempt
+// from a remote host is an indicator variable phi_i (1 = attempt succeeded,
+// 0 = failed); benign hosts succeed with probability theta0, scanners with
+// the much lower theta1. The likelihood ratio walks until it crosses an
+// acceptance threshold.
+
+// TRWVerdict is the state of a sequential test.
+type TRWVerdict int
+
+// Verdicts.
+const (
+	TRWPending TRWVerdict = iota // more observations needed
+	TRWBenign                    // host accepted as benign
+	TRWScanner                   // host flagged as scanner
+)
+
+// String names the verdict.
+func (v TRWVerdict) String() string {
+	switch v {
+	case TRWBenign:
+		return "benign"
+	case TRWScanner:
+		return "scanner"
+	default:
+		return "pending"
+	}
+}
+
+// TRWConfig parameterises the test. The defaults mirror the paper's
+// recommended operating point.
+type TRWConfig struct {
+	Theta0 float64 // P(success | benign), e.g. 0.8
+	Theta1 float64 // P(success | scanner), e.g. 0.2
+	Alpha  float64 // tolerated false-positive rate, e.g. 0.01
+	Beta   float64 // tolerated false-negative rate, e.g. 0.01
+}
+
+// DefaultTRWConfig returns the operating point from Jung et al.
+func DefaultTRWConfig() TRWConfig {
+	return TRWConfig{Theta0: 0.8, Theta1: 0.2, Alpha: 0.01, Beta: 0.99 / 100}
+}
+
+func (c TRWConfig) validate() {
+	if !(c.Theta1 < c.Theta0) || c.Theta0 <= 0 || c.Theta0 >= 1 || c.Theta1 <= 0 || c.Theta1 >= 1 {
+		panic("stats: TRW requires 0 < theta1 < theta0 < 1")
+	}
+	if c.Alpha <= 0 || c.Alpha >= 1 || c.Beta <= 0 || c.Beta >= 1 {
+		panic("stats: TRW alpha/beta must be in (0,1)")
+	}
+}
+
+// TRW is one remote host's sequential test state. The zero value is not
+// usable; create with NewTRW.
+type TRW struct {
+	cfg          TRWConfig
+	logLambda    float64 // running log likelihood ratio
+	upper, lower float64 // log thresholds
+	succUp       float64 // log-likelihood increment on success
+	failUp       float64 // log-likelihood increment on failure
+	observations int
+	verdict      TRWVerdict
+}
+
+// NewTRW starts a sequential test with the given configuration.
+func NewTRW(cfg TRWConfig) *TRW {
+	cfg.validate()
+	t := &TRW{
+		cfg:   cfg,
+		upper: math.Log((1 - cfg.Beta) / cfg.Alpha),
+		lower: math.Log(cfg.Beta / (1 - cfg.Alpha)),
+	}
+	t.succUp = math.Log(cfg.Theta1 / cfg.Theta0)
+	t.failUp = math.Log((1 - cfg.Theta1) / (1 - cfg.Theta0))
+	return t
+}
+
+// Observe folds one connection-attempt outcome in and returns the verdict.
+// Once a terminal verdict is reached, further observations are ignored.
+func (t *TRW) Observe(success bool) TRWVerdict {
+	if t.verdict != TRWPending {
+		return t.verdict
+	}
+	t.observations++
+	if success {
+		t.logLambda += t.succUp
+	} else {
+		t.logLambda += t.failUp
+	}
+	switch {
+	case t.logLambda >= t.upper:
+		t.verdict = TRWScanner
+	case t.logLambda <= t.lower:
+		t.verdict = TRWBenign
+	}
+	return t.verdict
+}
+
+// Verdict returns the current verdict.
+func (t *TRW) Verdict() TRWVerdict { return t.verdict }
+
+// Observations returns how many outcomes have been folded in.
+func (t *TRW) Observations() int { return t.observations }
+
+// LogLambda exposes the walk position, useful for diagnostics.
+func (t *TRW) LogLambda() float64 { return t.logLambda }

@@ -1,0 +1,301 @@
+package trace
+
+import (
+	"fmt"
+
+	"smartwatch/internal/packet"
+	"smartwatch/internal/stats"
+)
+
+// Covert timing channel (§5.2.1) and website fingerprinting (§5.2.2)
+// workloads. Both mix benign flows with flows whose timing/length
+// distributions carry a signal.
+
+// CovertTimingConfig builds a workload in which a fraction of flows
+// modulate inter-packet delays to exfiltrate bits: large IPDs encode ones,
+// small IPDs encode zeros (NetWarden's threat model). The paper modulates
+// 10% of a CAIDA workload with delays in 1–100 µs.
+type CovertTimingConfig struct {
+	Seed uint64
+	// Flows is the total flow count; ModulatedFraction of them leak.
+	Flows             int
+	ModulatedFraction float64
+	// PacketsPerFlow is the observed length of each flow.
+	PacketsPerFlow int
+	// Delay0/Delay1 are the modulated IPDs (ns) encoding 0/1 bits.
+	Delay0, Delay1 int64
+	// JitterNs is uniform noise added to each modulated delay (attackers
+	// cannot emit perfectly clean symbols); defaults to Delay0/3.
+	JitterNs int64
+	// BenignMean/BenignStd shape benign IPDs (ns), a unimodal
+	// distribution distinct from the attacker's bimodal one.
+	BenignMean, BenignStd float64
+	// MeanSpread is the per-flow heterogeneity: each benign flow draws
+	// its own mean and std within +/-MeanSpread of the population values
+	// (real flows differ, which is what makes low-resolution detectors
+	// err). Default 0.1.
+	MeanSpread float64
+	// Start offsets the first packet.
+	Start int64
+}
+
+// CovertTiming builds the injector.
+func CovertTiming(cfg CovertTimingConfig) *CovertTimingInjector {
+	if cfg.Flows <= 0 {
+		cfg.Flows = 100
+	}
+	if cfg.ModulatedFraction == 0 {
+		cfg.ModulatedFraction = 0.1
+	}
+	if cfg.PacketsPerFlow <= 0 {
+		cfg.PacketsPerFlow = 200
+	}
+	if cfg.Delay0 <= 0 {
+		cfg.Delay0 = 5e3 // 5 µs
+	}
+	if cfg.Delay1 <= 0 {
+		cfg.Delay1 = 60e3 // 60 µs
+	}
+	if cfg.JitterNs <= 0 {
+		cfg.JitterNs = cfg.Delay0 / 3
+	}
+	if cfg.BenignMean == 0 {
+		cfg.BenignMean = 30e3
+	}
+	if cfg.BenignStd == 0 {
+		cfg.BenignStd = 12e3
+	}
+	if cfg.MeanSpread == 0 {
+		cfg.MeanSpread = 0.1
+	}
+	return &CovertTimingInjector{cfg: cfg}
+}
+
+// CovertTimingInjector generates the mixed benign/modulated flow set.
+type CovertTimingInjector struct{ cfg CovertTimingConfig }
+
+func (a *CovertTimingInjector) flowTuple(i int) packet.FiveTuple {
+	return packet.FiveTuple{
+		SrcIP: packet.AddrFrom4(100, 70, byte(i>>8), byte(i)), DstIP: packet.AddrFrom4(10, 4, 0, byte(i%250)),
+		SrcPort: uint16(20000 + i), DstPort: PortHTTPS, Proto: packet.ProtoTCP,
+	}
+}
+
+// Modulated reports whether flow index i carries the covert channel.
+func (a *CovertTimingInjector) Modulated(i int) bool {
+	return i < int(float64(a.cfg.Flows)*a.cfg.ModulatedFraction)
+}
+
+// Truth lists the modulated session keys.
+func (a *CovertTimingInjector) Truth() GroundTruth {
+	t := GroundTruth{Label: "covert-timing"}
+	for i := 0; i < a.cfg.Flows; i++ {
+		if a.Modulated(i) {
+			t.Flows = append(t.Flows, a.flowTuple(i).Canonical())
+		}
+	}
+	return t
+}
+
+// Stream generates all flows interleaved in time order.
+func (a *CovertTimingInjector) Stream() packet.Stream {
+	cfg := a.cfg
+	b := newBuilder(cfg.Seed ^ 0xc0e7)
+	for i := 0; i < cfg.Flows; i++ {
+		t := a.flowTuple(i)
+		ts := cfg.Start + int64(i)*10e3
+		modulated := a.Modulated(i)
+		bitRng := stats.NewRand(cfg.Seed + uint64(i))
+		spread := cfg.MeanSpread
+		flowMean := cfg.BenignMean * (1 - spread + 2*spread*bitRng.Float64())
+		flowStd := cfg.BenignStd * (1 - spread + 2*spread*bitRng.Float64())
+		for p := 0; p < cfg.PacketsPerFlow; p++ {
+			b.add(packet.Packet{Ts: ts, Tuple: t, Size: 256, PayloadLen: 202, Flags: packet.FlagACK | packet.FlagPSH})
+			if modulated {
+				// Bimodal: the covert bit selects the delay.
+				if bitRng.Float64() < 0.5 {
+					ts += cfg.Delay0 + int64(bitRng.IntN(int(cfg.JitterNs)))
+				} else {
+					ts += cfg.Delay1 + int64(bitRng.IntN(int(cfg.JitterNs)))
+				}
+			} else {
+				d := bitRng.Normal(flowMean, flowStd)
+				if d < 1000 {
+					d = 1000
+				}
+				ts += int64(d)
+			}
+		}
+	}
+	return b.stream()
+}
+
+// BenignIPDSample returns a training sample of benign inter-packet delays
+// (ns) drawn from the same distribution the benign flows use — the
+// "known-good distribution from training data" the KS detector compares
+// against.
+func (a *CovertTimingInjector) BenignIPDSample(n int) []float64 {
+	rng := stats.NewRand(a.cfg.Seed ^ 0x7a11)
+	out := make([]float64, n)
+	for i := range out {
+		d := rng.Normal(a.cfg.BenignMean, a.cfg.BenignStd)
+		if d < 1000 {
+			d = 1000
+		}
+		out[i] = d
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Website fingerprinting.
+
+// FingerprintConfig synthesises flows whose packet-length distributions
+// identify the visited site, mirroring the OpenSSH website-fingerprinting
+// traces: each site has a stable multinomial PLD signature; flows sample
+// from their site's signature.
+type FingerprintConfig struct {
+	Seed uint64
+	// Sites is the number of distinct monitored sites.
+	Sites int
+	// FlowsPerSite generated per site (half train / half test by
+	// convention of the harness).
+	FlowsPerSite int
+	// PacketsPerFlow sampled per flow.
+	PacketsPerFlow int
+	// Bins of the PLD histogram (packet sizes quantised into Bins buckets
+	// over [0,1500)).
+	Bins int
+	// SignatureConcentration controls how peaked each site's PLD is
+	// (higher = easier classification).
+	SignatureConcentration float64
+	// Start offsets the first packet.
+	Start int64
+}
+
+// Fingerprint builds the injector.
+func Fingerprint(cfg FingerprintConfig) *FingerprintInjector {
+	if cfg.Sites <= 0 {
+		cfg.Sites = 20
+	}
+	if cfg.FlowsPerSite <= 0 {
+		cfg.FlowsPerSite = 20
+	}
+	if cfg.PacketsPerFlow <= 0 {
+		cfg.PacketsPerFlow = 120
+	}
+	if cfg.Bins <= 0 {
+		cfg.Bins = 32
+	}
+	if cfg.SignatureConcentration == 0 {
+		cfg.SignatureConcentration = 6
+	}
+	f := &FingerprintInjector{cfg: cfg}
+	f.buildSignatures()
+	return f
+}
+
+// FingerprintInjector generates per-site PLD-signature flows.
+type FingerprintInjector struct {
+	cfg        FingerprintConfig
+	signatures [][]float64 // [site][bin] sampling CDF
+}
+
+func (a *FingerprintInjector) buildSignatures() {
+	rng := stats.NewRand(a.cfg.Seed ^ 0xf19e)
+	a.signatures = make([][]float64, a.cfg.Sites)
+	for s := range a.signatures {
+		// Dirichlet-ish: a few dominant bins per site.
+		w := make([]float64, a.cfg.Bins)
+		sum := 0.0
+		for i := range w {
+			w[i] = rng.Exp(1)
+		}
+		// Sharpen a handful of site-specific bins.
+		for k := 0; k < 4; k++ {
+			w[rng.IntN(a.cfg.Bins)] *= a.cfg.SignatureConcentration
+		}
+		for _, v := range w {
+			sum += v
+		}
+		cdf := make([]float64, a.cfg.Bins)
+		acc := 0.0
+		for i, v := range w {
+			acc += v / sum
+			cdf[i] = acc
+		}
+		a.signatures[s] = cdf
+	}
+}
+
+// Sites returns the site labels.
+func (a *FingerprintInjector) Sites() []string {
+	out := make([]string, a.cfg.Sites)
+	for i := range out {
+		out[i] = fmt.Sprintf("site-%02d", i)
+	}
+	return out
+}
+
+// FlowSite returns the ground-truth site of flow index i.
+func (a *FingerprintInjector) FlowSite(i int) int { return i % a.cfg.Sites }
+
+// NumFlows returns the total flow count.
+func (a *FingerprintInjector) NumFlows() int { return a.cfg.Sites * a.cfg.FlowsPerSite }
+
+// FlowTuple returns the five-tuple of flow index i.
+func (a *FingerprintInjector) FlowTuple(i int) packet.FiveTuple {
+	return packet.FiveTuple{
+		SrcIP: packet.AddrFrom4(100, 80, byte(i>>8), byte(i)), DstIP: packet.AddrFrom4(10, 5, 0, byte(a.FlowSite(i))),
+		SrcPort: uint16(15000 + i), DstPort: PortHTTPS, Proto: packet.ProtoTCP,
+	}
+}
+
+func (a *FingerprintInjector) sampleSize(rng *stats.Rand, site int) uint16 {
+	u := rng.Float64()
+	cdf := a.signatures[site]
+	lo, hi := 0, len(cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	binWidth := 1500 / a.cfg.Bins
+	return uint16(lo*binWidth + 40 + rng.IntN(binWidth))
+}
+
+// Truth labels flows by site in Extra["site-XX"].
+func (a *FingerprintInjector) Truth() GroundTruth {
+	t := GroundTruth{Label: "website-fingerprint", Extra: map[string][]packet.FlowKey{}}
+	names := a.Sites()
+	for i := 0; i < a.NumFlows(); i++ {
+		site := names[a.FlowSite(i)]
+		t.Extra[site] = append(t.Extra[site], a.FlowTuple(i).Canonical())
+	}
+	return t
+}
+
+// Stream generates all fingerprint flows.
+func (a *FingerprintInjector) Stream() packet.Stream {
+	cfg := a.cfg
+	b := newBuilder(cfg.Seed ^ 0xf10e5)
+	for i := 0; i < a.NumFlows(); i++ {
+		t := a.FlowTuple(i)
+		site := a.FlowSite(i)
+		rng := stats.NewRand(cfg.Seed + uint64(i)*7919)
+		ts := cfg.Start + int64(i)*50e3
+		for p := 0; p < cfg.PacketsPerFlow; p++ {
+			size := a.sampleSize(rng, site)
+			dir := t
+			if rng.Float64() < 0.5 { // responses dominate web PLDs both ways
+				dir = t.Reverse()
+			}
+			b.add(packet.Packet{Ts: ts, Tuple: dir, Size: size, PayloadLen: size - 54, Flags: packet.FlagACK | packet.FlagPSH})
+			ts += 20e3 + int64(rng.IntN(30e3))
+		}
+	}
+	return b.stream()
+}
