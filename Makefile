@@ -1,0 +1,38 @@
+# Developer workflow for the SmartWatch reproduction. Everything is
+# stdlib-only Go; `make check` is what CI (and the tier-1 gate) runs.
+
+GO ?= go
+
+.PHONY: all build vet test race check bench experiments clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector pass over the concurrency-bearing packages: the FlowCache
+# latch protocol, the sNIC engine, the platform control loop, the parallel
+# experiment runner and the buffered stream bridge. -short skips the
+# full-sweep determinism test (covered by `make test`).
+race:
+	$(GO) test -race -short ./internal/flowcache/ ./internal/snic/ ./internal/core/ ./internal/experiments/ ./internal/packet/
+
+check: vet build test race
+
+# Performance snapshot (see DESIGN.md §7.4). Writes BENCH_dev.json; rename
+# to BENCH_<pr>.json when committing a PR's trajectory point.
+bench:
+	$(GO) run ./cmd/bench -out BENCH_dev.json
+
+# Full-scale regeneration of every table/figure (EXPERIMENTS.md sizes).
+experiments:
+	$(GO) run ./cmd/experiments all > experiments_full.txt
+
+clean:
+	rm -f BENCH_dev.json

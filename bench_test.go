@@ -13,6 +13,10 @@ import (
 
 	"smartwatch"
 	"smartwatch/internal/experiments"
+	"smartwatch/internal/flowcache"
+	"smartwatch/internal/packet"
+	"smartwatch/internal/snic"
+	"smartwatch/internal/stats"
 )
 
 const benchScale = 0.1
@@ -76,3 +80,82 @@ func BenchmarkPlatformPipeline(b *testing.B) {
 }
 
 func BenchmarkAblations(b *testing.B) { run(b, experiments.Ablations) }
+
+// benchPackets builds a deterministic Zipf packet mix for the hot-path
+// micro-benchmarks: enough distinct flows to exercise P hits, E hits and
+// misses without leaving cache-resident working-set territory.
+func benchPackets(n int) []packet.Packet {
+	rng := stats.NewRand(42)
+	z := stats.NewZipf(rng, 1<<14, 1.2)
+	pkts := make([]packet.Packet, n)
+	for i := range pkts {
+		fl := z.Sample()
+		pkts[i] = packet.Packet{
+			Ts: int64(i),
+			Tuple: packet.FiveTuple{
+				SrcIP: packet.Addr(fl*2654435761 + 17), DstIP: packet.Addr(fl + 3),
+				SrcPort: uint16(fl), DstPort: 443, Proto: packet.ProtoTCP,
+			},
+			Size: 64,
+		}
+	}
+	return pkts
+}
+
+// BenchmarkFlowCacheProcess measures the FlowCache hot path in isolation:
+// one Process call per packet on the paper's (4,8) layout. Must be
+// 0 allocs/op at steady state.
+func BenchmarkFlowCacheProcess(b *testing.B) {
+	c := flowcache.New(flowcache.DefaultConfig(10))
+	pkts := benchPackets(1 << 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := &pkts[i&(len(pkts)-1)]
+		c.Process(p)
+	}
+}
+
+// BenchmarkSNICDispatch measures the discrete-event dispatch loop: thread
+// scheduling, cycle accounting and latency bookkeeping per packet, with the
+// application handler stubbed to a fixed cost. Must be 0 allocs/op at
+// steady state.
+func BenchmarkSNICDispatch(b *testing.B) {
+	pkts := benchPackets(1 << 16)
+	eng := snic.New(snic.DefaultConfig(), func(p *packet.Packet, ctx snic.Ctx) snic.Cost {
+		return snic.Cost{Reads: 4, Writes: 1}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	eng.Run(func(yield func(packet.Packet) bool) {
+		for i := 0; i < b.N; i++ {
+			p := pkts[i&(len(pkts)-1)]
+			p.Ts = int64(i * 30) // ~33 Mpps offered, below capacity
+			if !yield(p) {
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkBufferedStream measures the producer/consumer stream bridge:
+// per-packet overhead of handing batches across the goroutine boundary.
+func BenchmarkBufferedStream(b *testing.B) {
+	pkts := benchPackets(1 << 12)
+	b.ReportAllocs()
+	b.ResetTimer()
+	src := func(yield func(packet.Packet) bool) {
+		for i := 0; i < b.N; i++ {
+			if !yield(pkts[i&(len(pkts)-1)]) {
+				return
+			}
+		}
+	}
+	n := 0
+	for range packet.Buffered(src, 512) {
+		n++
+	}
+	if n != b.N {
+		b.Fatalf("saw %d packets, want %d", n, b.N)
+	}
+}

@@ -1,0 +1,193 @@
+// Command bench measures the repository's performance-critical paths and
+// emits a machine-readable BENCH_*.json snapshot, so successive PRs can
+// track the trajectory (BENCH_1.json, BENCH_2.json, ...).
+//
+// It measures two layers:
+//
+//   - micro: the FlowCache Process hot path, the sNIC dispatch loop, and
+//     the buffered stream bridge, via testing.Benchmark (ns/op, allocs/op);
+//   - macro: wall-clock for the full `experiments all` sweep at a small
+//     scale, sequential vs parallel, plus the resulting speedup.
+//
+// Usage:
+//
+//	bench [-out BENCH_1.json] [-scale 0.01] [-note "..."] [-skip-macro]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"smartwatch/internal/experiments"
+	"smartwatch/internal/flowcache"
+	"smartwatch/internal/packet"
+	"smartwatch/internal/snic"
+	"smartwatch/internal/stats"
+)
+
+// Micro is one testing.Benchmark result.
+type Micro struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	N           int     `json:"iterations"`
+}
+
+// Macro is the experiments-sweep wall-clock measurement.
+type Macro struct {
+	Scale       float64 `json:"scale"`
+	Experiments int     `json:"experiments"`
+	SequentialS float64 `json:"sequential_s"`
+	ParallelS   float64 `json:"parallel_s"`
+	Parallel    int     `json:"parallel"`
+	Speedup     float64 `json:"speedup"`
+}
+
+// Snapshot is the emitted document.
+type Snapshot struct {
+	Generated  string           `json:"generated"`
+	GoVersion  string           `json:"go_version"`
+	GOMAXPROCS int              `json:"gomaxprocs"`
+	Micro      map[string]Micro `json:"micro"`
+	Macro      *Macro           `json:"macro,omitempty"`
+	Notes      []string         `json:"notes,omitempty"`
+}
+
+type noteList []string
+
+func (n *noteList) String() string     { return fmt.Sprint(*n) }
+func (n *noteList) Set(s string) error { *n = append(*n, s); return nil }
+
+func benchPackets(n int) []packet.Packet {
+	rng := stats.NewRand(42)
+	z := stats.NewZipf(rng, 1<<14, 1.2)
+	pkts := make([]packet.Packet, n)
+	for i := range pkts {
+		fl := z.Sample()
+		pkts[i] = packet.Packet{
+			Ts: int64(i),
+			Tuple: packet.FiveTuple{
+				SrcIP: packet.Addr(fl*2654435761 + 17), DstIP: packet.Addr(fl + 3),
+				SrcPort: uint16(fl), DstPort: 443, Proto: packet.ProtoTCP,
+			},
+			Size: 64,
+		}
+	}
+	return pkts
+}
+
+func toMicro(r testing.BenchmarkResult) Micro {
+	return Micro{
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		N:           r.N,
+	}
+}
+
+func main() {
+	out := flag.String("out", "", "output file (default stdout)")
+	scale := flag.Float64("scale", 0.01, "workload scale for the macro sweep")
+	skipMacro := flag.Bool("skip-macro", false, "skip the experiments wall-clock sweep")
+	var notes noteList
+	flag.Var(&notes, "note", "free-form note recorded in the snapshot (repeatable)")
+	flag.Parse()
+
+	snap := Snapshot{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Micro:      map[string]Micro{},
+		Notes:      notes,
+	}
+
+	pkts := benchPackets(1 << 16)
+
+	fmt.Fprintln(os.Stderr, "bench: flowcache.Process ...")
+	cache := flowcache.New(flowcache.DefaultConfig(10))
+	snap.Micro["flowcache_process"] = toMicro(testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cache.Process(&pkts[i&(len(pkts)-1)])
+		}
+	}))
+
+	fmt.Fprintln(os.Stderr, "bench: snic dispatch loop ...")
+	snap.Micro["snic_dispatch"] = toMicro(testing.Benchmark(func(b *testing.B) {
+		eng := snic.New(snic.DefaultConfig(), func(p *packet.Packet, ctx snic.Ctx) snic.Cost {
+			return snic.Cost{Reads: 4, Writes: 1}
+		})
+		b.ReportAllocs()
+		b.ResetTimer()
+		eng.Run(func(yield func(packet.Packet) bool) {
+			for i := 0; i < b.N; i++ {
+				p := pkts[i&(len(pkts)-1)]
+				p.Ts = int64(i * 30)
+				if !yield(p) {
+					return
+				}
+			}
+		})
+	}))
+
+	fmt.Fprintln(os.Stderr, "bench: buffered stream bridge ...")
+	snap.Micro["packet_buffered"] = toMicro(testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		src := func(yield func(packet.Packet) bool) {
+			for i := 0; i < b.N; i++ {
+				if !yield(pkts[i&(len(pkts)-1)]) {
+					return
+				}
+			}
+		}
+		n := 0
+		for range packet.Buffered(src, 512) {
+			n++
+		}
+	}))
+
+	if !*skipMacro {
+		reg := experiments.Registry()
+		sweep := func(parallel int) float64 {
+			start := time.Now()
+			experiments.RunAll(reg, *scale, parallel, func(r experiments.Result) {
+				if r.Table == nil {
+					fmt.Fprintf(os.Stderr, "bench: %s returned nil table\n", r.ID)
+					os.Exit(1)
+				}
+			})
+			return time.Since(start).Seconds()
+		}
+		fmt.Fprintf(os.Stderr, "bench: experiments all, scale %g, sequential ...\n", *scale)
+		seq := sweep(1)
+		par := runtime.GOMAXPROCS(0)
+		fmt.Fprintf(os.Stderr, "bench: experiments all, scale %g, -parallel=%d ...\n", *scale, par)
+		parS := sweep(par)
+		m := Macro{Scale: *scale, Experiments: len(reg), SequentialS: seq, ParallelS: parS, Parallel: par}
+		if parS > 0 {
+			m.Speedup = seq / parS
+		}
+		snap.Macro = &m
+	}
+
+	enc, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "bench: wrote %s\n", *out)
+}

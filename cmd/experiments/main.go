@@ -3,12 +3,15 @@
 //
 // Usage:
 //
-//	experiments [-scale S] all
-//	experiments [-scale S] fig2 fig5 table4 ...
+//	experiments [-scale S] [-parallel N] all
+//	experiments [-scale S] [-parallel N] fig2 fig5 table4 ...
 //	experiments list
 //
 // Scale 1 reproduces the workload sizes used for EXPERIMENTS.md; smaller
-// values run proportionally faster. Output is plain text, one table per
+// values run proportionally faster. Independent experiments run on up to
+// N concurrent workers (default: GOMAXPROCS); output is emitted in the
+// requested order and is byte-identical for every N — parallelism changes
+// wall-clock time, never results. Output is plain text, one table per
 // experiment, on stdout.
 package main
 
@@ -16,46 +19,21 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
+	"runtime"
 	"time"
 
 	"smartwatch/internal/experiments"
 )
 
-var registry = map[string]func(float64) *experiments.Table{
-	"fig2":      experiments.Fig2SwitchState,
-	"fig3":      experiments.Fig3Scaling,
-	"fig4":      experiments.Fig4LatencyDist,
-	"fig5":      experiments.Fig5Policies,
-	"fig6":      experiments.Fig6Throughput,
-	"fig7":      experiments.Fig7HostOverhead,
-	"fig8a":     experiments.Fig8aSSHLatency,
-	"fig8b":     experiments.Fig8bForgedRST,
-	"fig8c":     experiments.Fig8cPortScan,
-	"fig9a":     experiments.Fig9aCovertROC,
-	"fig9b":     experiments.Fig9bFingerprint,
-	"fig10":     experiments.Fig10Volumetric,
-	"fig11a":    experiments.Fig11aMicroburst,
-	"fig11b":    experiments.Fig11bThroughput,
-	"table2":    experiments.Table2Resources,
-	"ablations": experiments.Ablations,
-	"table3":    experiments.Table3NICs,
-	"table4":    experiments.Table4Detection,
-}
-
-func names() []string {
-	out := make([]string, 0, len(registry))
-	for k := range registry {
-		out = append(out, k)
-	}
-	sort.Strings(out)
-	return out
-}
-
 func main() {
 	scale := flag.Float64("scale", 1.0, "workload scale factor (1 = EXPERIMENTS.md sizes)")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "max concurrently running experiments (1 = sequential)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: experiments [-scale S] all | list | <id>...\nids: %v\n", names())
+		ids := make([]string, 0)
+		for _, e := range experiments.Registry() {
+			ids = append(ids, e.ID)
+		}
+		fmt.Fprintf(os.Stderr, "usage: experiments [-scale S] [-parallel N] all | list | <id>...\nids: %v\n", ids)
 	}
 	flag.Parse()
 	args := flag.Args()
@@ -64,27 +42,34 @@ func main() {
 		os.Exit(2)
 	}
 	if args[0] == "list" {
-		for _, n := range names() {
-			fmt.Println(n)
+		for _, e := range experiments.Registry() {
+			fmt.Println(e.ID)
 		}
 		return
 	}
-	ids := args
+
+	var exps []experiments.Exp
 	if args[0] == "all" {
-		ids = names()
-	}
-	for _, id := range ids {
-		fn, ok := registry[id]
-		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (try: experiments list)\n", id)
-			os.Exit(2)
+		exps = experiments.Registry()
+	} else {
+		for _, id := range args {
+			e, ok := experiments.Lookup(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (try: experiments list)\n", id)
+				os.Exit(2)
+			}
+			exps = append(exps, e)
 		}
-		start := time.Now()
-		tb := fn(*scale)
-		if _, err := tb.WriteTo(os.Stdout); err != nil {
-			fmt.Fprintf(os.Stderr, "writing %s: %v\n", id, err)
+	}
+
+	start := time.Now()
+	experiments.RunAll(exps, *scale, *parallel, func(r experiments.Result) {
+		if _, err := r.Table.WriteTo(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", r.ID, err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", id, time.Since(start).Round(time.Millisecond))
-	}
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", r.ID, r.Elapsed.Round(time.Millisecond))
+	})
+	fmt.Fprintf(os.Stderr, "[all %d experiments in %v at -parallel=%d]\n",
+		len(exps), time.Since(start).Round(time.Millisecond), *parallel)
 }

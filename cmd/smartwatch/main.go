@@ -68,7 +68,9 @@ func main() {
 	}
 	pl := core.New(cfg)
 
-	rep := pl.Run(pcap.ReadStream(r))
+	// Buffered moves pcap decoding to its own goroutine so trace reading
+	// overlaps platform replay (order-preserving, batched handoff).
+	rep := pl.Run(packet.Buffered(pcap.ReadStream(r), 512))
 
 	fmt.Printf("packets: total=%d forwarded-direct=%d to-snic=%d to-host=%d blocked=%d dropped-at-switch=%d\n",
 		rep.Counts.Total, rep.Counts.ForwardedDirect, rep.Counts.ToSNIC,

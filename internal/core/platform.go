@@ -7,6 +7,8 @@
 package core
 
 import (
+	"sort"
+
 	"smartwatch/internal/detect"
 	"smartwatch/internal/flowcache"
 	"smartwatch/internal/host"
@@ -302,41 +304,87 @@ func (pl *Platform) Run(s packet.Stream) Report {
 // Alerts returns everything raised so far.
 func (pl *Platform) Alerts() []detect.Alert { return pl.alerts }
 
+// topkCand is one WhitelistTopK candidate; ord is its FlowCache snapshot
+// position, used to break packet-count ties deterministically (earlier
+// snapshot order wins, matching the previous selection-sort behaviour).
+type topkCand struct {
+	key  packet.FlowKey
+	pkts uint64
+	ord  int
+}
+
+// topkWorse orders candidates weakest-first: fewer packets, then later
+// snapshot position among equals — the eviction order of the heap below.
+func topkWorse(a, b topkCand) bool {
+	if a.pkts != b.pkts {
+		return a.pkts < b.pkts
+	}
+	return a.ord > b.ord
+}
+
 // WhitelistTopK installs switch whitelist entries for the K heaviest
 // unflagged flows currently resident in the FlowCache — the hoverboard
 // heuristic of §3.1 (Fig. 2's x-axis knob). It returns how many entries
 // were installed.
+//
+// Selection is a streaming size-k min-heap over the cache snapshot:
+// O(n log k) versus the previous O(k·n) partial selection sort, which
+// dominated Fig. 2's runtime at large k. Entries install in descending
+// packet count (ties: earlier snapshot order first), identical to before.
 func (pl *Platform) WhitelistTopK(k int, isMalicious func(packet.FlowKey) bool) int {
 	if pl.sw == nil || k <= 0 {
 		return 0
 	}
-	type cand struct {
-		key  packet.FlowKey
-		pkts uint64
+	// h is a min-heap of the best k candidates seen so far, weakest at the
+	// root; a newcomer replaces the root only when it is strictly better.
+	h := make([]topkCand, 0, k)
+	siftDown := func(i int) {
+		for {
+			c := 2*i + 1
+			if c >= len(h) {
+				return
+			}
+			if c+1 < len(h) && topkWorse(h[c+1], h[c]) {
+				c++
+			}
+			if !topkWorse(h[c], h[i]) {
+				return
+			}
+			h[i], h[c] = h[c], h[i]
+			i = c
+		}
 	}
-	var cands []cand
+	ord := 0
 	pl.cache.Snapshot(func(r flowcache.Record) bool {
-		if isMalicious == nil || !isMalicious(r.Key) {
-			cands = append(cands, cand{r.Key, r.Pkts})
+		if isMalicious != nil && isMalicious(r.Key) {
+			return true
+		}
+		c := topkCand{r.Key, r.Pkts, ord}
+		ord++
+		if len(h) < k {
+			h = append(h, c)
+			// Sift up.
+			for i := len(h) - 1; i > 0; {
+				parent := (i - 1) / 2
+				if !topkWorse(h[i], h[parent]) {
+					break
+				}
+				h[i], h[parent] = h[parent], h[i]
+				i = parent
+			}
+			return true
+		}
+		if topkWorse(h[0], c) {
+			h[0] = c
+			siftDown(0)
 		}
 		return true
 	})
-	// Partial selection of the top k.
-	if k > len(cands) {
-		k = len(cands)
-	}
-	for i := 0; i < k; i++ {
-		maxI := i
-		for j := i + 1; j < len(cands); j++ {
-			if cands[j].pkts > cands[maxI].pkts {
-				maxI = j
-			}
-		}
-		cands[i], cands[maxI] = cands[maxI], cands[i]
-	}
+	// Install strongest-first.
+	sort.Slice(h, func(i, j int) bool { return topkWorse(h[j], h[i]) })
 	installed := 0
-	for i := 0; i < k; i++ {
-		if err := pl.sw.Whitelist(cands[i].key); err != nil {
+	for i := range h {
+		if err := pl.sw.Whitelist(h[i].key); err != nil {
 			break
 		}
 		installed++

@@ -37,7 +37,10 @@ func runCache(cfg flowcache.Config, mode flowcache.Mode, pkts, flows int, rateMp
 		lastHit = res.Outcome == flowcache.PHit || res.Outcome == flowcache.EHit
 		return snic.Cost{Reads: res.Reads, Writes: res.Writes}
 	})
-	out.rep = e.Run(retime(stressStream(pkts, flows, 0.3, seed), rateMpps*1e6))
+	// Buffered runs trace synthesis on its own goroutine so workload
+	// generation overlaps DES replay; ordering (and thus every modelled
+	// figure) is unchanged.
+	out.rep = e.Run(packet.Buffered(retime(stressStream(pkts, flows, 0.3, seed), rateMpps*1e6), 1024))
 	return out
 }
 

@@ -108,7 +108,7 @@ func fig10Run(n int) fig10Result {
 			m    flowcache.Mode
 		}{{"sw-general", flowcache.General}, {"sw-lite", flowcache.Lite}} {
 			e, c, fs := makeSW(mode.m)
-			e.Run(stream())
+			e.Run(packet.Buffered(stream(), 1024))
 			fs.DrainRings(c.Rings())
 			c.Snapshot(func(r flowcache.Record) bool {
 				fs.Ingest(r)

@@ -39,13 +39,39 @@ type row struct {
 	buckets []Record
 }
 
-// statCounters mirrors Stats with atomically updated fields.
-type statCounters struct {
+// statShards is the number of counter shards. Shards are selected by the
+// same low hash bits that select the row, so concurrent Process calls on
+// different rows update different shards; it is a power of two so the
+// selection is a single mask.
+const statShards = 8
+
+// statShard mirrors Stats with atomically updated fields. The trailing pad
+// rounds the struct to 128 bytes (two cache lines) so neighbouring shards
+// never share a line — without it every Add from every goroutine contends
+// on the same few lines (false sharing), which serialises the otherwise
+// independent hot counters.
+type statShard struct {
 	pHits, eHits, misses, inserts   atomic.Uint64
 	evictions, ringDrops, hostPunts atomic.Uint64
 	pinDenied, rowCleanups          atomic.Uint64
 	cleanupEvictions                atomic.Uint64
 	reads, writes                   atomic.Uint64
+	_                               [32]byte
+}
+
+// statCounters is the sharded counter set; Stats() sums across shards.
+type statCounters [statShards]statShard
+
+// shard selects the counter shard for a flow hash (or row index — both
+// work, only distribution matters).
+func (s *statCounters) shard(hash uint64) *statShard {
+	return &s[hash&(statShards-1)]
+}
+
+// finish folds a Result's memory-operation counts into the shard.
+func (s *statShard) finish(res *Result) {
+	s.reads.Add(uint64(res.Reads))
+	s.writes.Add(uint64(res.Writes))
 }
 
 // New builds a cache from cfg. It panics on invalid configuration (these
@@ -129,6 +155,7 @@ func (c *Cache) Process(p *packet.Packet) (*Record, Result) {
 	hash := p.Hash()
 	key := p.Key()
 	rw := &c.rows[c.rowIndex(hash)]
+	sh := c.stats.shard(hash)
 	res := Result{}
 
 	rw.acquire()
@@ -144,8 +171,8 @@ func (c *Cache) Process(p *packet.Packet) (*Record, Result) {
 		evicted := c.cleanRow(rw)
 		rw.dirty = false
 		res.RowCleaned = true
-		c.stats.rowCleanups.Add(1)
-		c.stats.cleanupEvictions.Add(uint64(evicted))
+		sh.rowCleanups.Add(1)
+		sh.cleanupEvictions.Add(uint64(evicted))
 	}
 
 	lo, hi := 0, c.cfg.Buckets
@@ -162,8 +189,8 @@ func (c *Cache) Process(p *packet.Packet) (*Record, Result) {
 			rec.update(p)
 			res.Outcome = PHit
 			res.Writes++
-			c.stats.pHits.Add(1)
-			c.finish(&res)
+			sh.pHits.Add(1)
+			sh.finish(&res)
 			return rec, res
 		}
 		// E hit: swap with P's victim, then update.
@@ -171,27 +198,22 @@ func (c *Cache) Process(p *packet.Packet) (*Record, Result) {
 		rec.update(p)
 		res.Outcome = EHit
 		res.Writes++
-		c.stats.eHits.Add(1)
-		c.finish(&res)
+		sh.eHits.Add(1)
+		sh.finish(&res)
 		return rec, res
 	}
 
 	rec := c.insert(rw, hash, key, p, lo, pEnd, hi, &res)
 	if rec == nil {
 		res.Outcome = HostPunt
-		c.stats.hostPunts.Add(1)
-		c.finish(&res)
+		sh.hostPunts.Add(1)
+		sh.finish(&res)
 		return nil, res
 	}
 	res.Outcome = Miss
-	c.stats.misses.Add(1)
-	c.finish(&res)
+	sh.misses.Add(1)
+	sh.finish(&res)
 	return rec, res
-}
-
-func (c *Cache) finish(res *Result) {
-	c.stats.reads.Add(uint64(res.Reads))
-	c.stats.writes.Add(uint64(res.Writes))
 }
 
 // probe scans candidate buckets for the key, counting reads.
@@ -283,11 +305,11 @@ func (c *Cache) insert(rw *row, hash uint64, key packet.FlowKey, p *packet.Packe
 				c.evictOccupied(rw, eIdx, res)
 				rw.buckets[eIdx] = newRec
 				res.Writes++
-				c.stats.inserts.Add(1)
+				c.stats.shard(hash).inserts.Add(1)
 				return &rw.buckets[eIdx]
 			}
 		}
-		c.stats.pinDenied.Add(1)
+		c.stats.shard(hash).pinDenied.Add(1)
 		return nil
 	}
 
@@ -311,7 +333,7 @@ func (c *Cache) insert(rw *row, hash uint64, key packet.FlowKey, p *packet.Packe
 	}
 	rw.buckets[pIdx] = newRec
 	res.Writes++
-	c.stats.inserts.Add(1)
+	c.stats.shard(hash).inserts.Add(1)
 	return &rw.buckets[pIdx]
 }
 
@@ -332,10 +354,11 @@ func (c *Cache) evictOccupied(rw *row, idx int, res *Result) {
 // pushRing delivers an evicted record to its ring, counting overflow drops.
 func (c *Cache) pushRing(out Record) {
 	ring := c.rings[out.Hash%uint64(len(c.rings))]
+	sh := c.stats.shard(out.Hash)
 	if !ring.Push(out) {
-		c.stats.ringDrops.Add(1)
+		sh.ringDrops.Add(1)
 	}
-	c.stats.evictions.Add(1)
+	sh.evictions.Add(1)
 }
 
 // Lookup finds a record without updating it. The record is returned by
@@ -435,20 +458,26 @@ func (c *Cache) Occupancy() int {
 	return n
 }
 
-// Stats returns a snapshot of the cumulative counters.
+// Stats returns a snapshot of the cumulative counters, summed across the
+// shards. Each shard is read atomically but the sum is not a single atomic
+// snapshot — same as the pre-sharded counters, where independent fields
+// could already be observed mid-update.
 func (c *Cache) Stats() Stats {
-	return Stats{
-		PHits:            c.stats.pHits.Load(),
-		EHits:            c.stats.eHits.Load(),
-		Misses:           c.stats.misses.Load(),
-		Inserts:          c.stats.inserts.Load(),
-		Evictions:        c.stats.evictions.Load(),
-		RingDrops:        c.stats.ringDrops.Load(),
-		HostPunts:        c.stats.hostPunts.Load(),
-		PinDenied:        c.stats.pinDenied.Load(),
-		RowCleanups:      c.stats.rowCleanups.Load(),
-		CleanupEvictions: c.stats.cleanupEvictions.Load(),
-		Reads:            c.stats.reads.Load(),
-		Writes:           c.stats.writes.Load(),
+	var out Stats
+	for i := range c.stats {
+		sh := &c.stats[i]
+		out.PHits += sh.pHits.Load()
+		out.EHits += sh.eHits.Load()
+		out.Misses += sh.misses.Load()
+		out.Inserts += sh.inserts.Load()
+		out.Evictions += sh.evictions.Load()
+		out.RingDrops += sh.ringDrops.Load()
+		out.HostPunts += sh.hostPunts.Load()
+		out.PinDenied += sh.pinDenied.Load()
+		out.RowCleanups += sh.rowCleanups.Load()
+		out.CleanupEvictions += sh.cleanupEvictions.Load()
+		out.Reads += sh.reads.Load()
+		out.Writes += sh.writes.Load()
 	}
+	return out
 }

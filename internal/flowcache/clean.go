@@ -17,8 +17,9 @@ func (c *Cache) CleanAllRows() int {
 			evicted := c.cleanRow(rw)
 			rw.dirty = false
 			n++
-			c.stats.rowCleanups.Add(1)
-			c.stats.cleanupEvictions.Add(uint64(evicted))
+			sh := c.stats.shard(uint64(i)) // row index == low hash bits
+			sh.rowCleanups.Add(1)
+			sh.cleanupEvictions.Add(uint64(evicted))
 		}
 		rw.release()
 	}

@@ -1,0 +1,188 @@
+package flowcache
+
+// Concurrency tests: the per-row latch path is designed for the sNIC's
+// parallel micro-engines but the DES drives it single-threaded, so these
+// tests are what actually exercises Process under real contention. Run
+// them under the race detector (`make race` / CI) to validate the latch
+// protocol; even without -race the conservation checks below catch lost
+// updates.
+
+import (
+	"sync"
+	"testing"
+
+	"smartwatch/internal/packet"
+	"smartwatch/internal/stats"
+)
+
+// contendedConfig is tiny on purpose: 16 rows so goroutines collide on row
+// latches constantly, and small rings so eviction overflow paths run too.
+func contendedConfig() Config {
+	cfg := DefaultConfig(4)
+	cfg.Rings, cfg.RingEntries = 2, 1024
+	return cfg
+}
+
+func TestConcurrentProcessConservation(t *testing.T) {
+	const (
+		goroutines = 8
+		perG       = 20_000
+		flows      = 3_000
+	)
+	c := New(contendedConfig())
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			rng := stats.NewRand(seed + 1)
+			z := stats.NewZipf(rng, flows, 1.1)
+			for i := 0; i < perG; i++ {
+				fl := z.Sample()
+				p := packet.Packet{
+					Ts: int64(i),
+					Tuple: packet.FiveTuple{
+						SrcIP: packet.Addr(fl + 1), DstIP: packet.Addr(fl*7 + 13),
+						SrcPort: uint16(fl), DstPort: 443, Proto: packet.ProtoTCP,
+					},
+					Size: 64,
+				}
+				c.Process(&p)
+			}
+		}(uint64(g))
+	}
+	wg.Wait()
+
+	st := c.Stats()
+	total := uint64(goroutines * perG)
+	if got := st.Processed() + st.HostPunts; got != total {
+		t.Errorf("outcome counters conserve %d packets, want %d", got, total)
+	}
+	// Every record leaves a row only through an eviction push, so inserts
+	// must equal live occupancy plus cumulative evictions.
+	if live, want := uint64(c.Occupancy()), st.Inserts-st.Evictions; live != want {
+		t.Errorf("occupancy %d != inserts %d - evictions %d", live, st.Inserts, st.Evictions)
+	}
+	// Per-flow packet counts: total packets across live records + records
+	// drained to rings + punts == offered packets requires draining rings;
+	// instead check the cheap invariant that the cache is not over capacity.
+	if c.Occupancy() > c.Config().Entries() {
+		t.Errorf("occupancy %d exceeds capacity %d", c.Occupancy(), c.Config().Entries())
+	}
+}
+
+// TestConcurrentProcessWithModeSwitches drives Process from many
+// goroutines while another flips General<->Lite, exercising the dirty-row
+// lazy cleanup (Alg. 3) under real contention.
+func TestConcurrentProcessWithModeSwitches(t *testing.T) {
+	const (
+		goroutines = 6
+		perG       = 15_000
+	)
+	c := New(contendedConfig())
+	var wg sync.WaitGroup
+	stopFlip := make(chan struct{})
+	var flipper sync.WaitGroup
+	flipper.Add(1)
+	go func() {
+		defer flipper.Done()
+		mode := Lite
+		for {
+			select {
+			case <-stopFlip:
+				return
+			default:
+			}
+			c.SetMode(mode)
+			if mode == Lite {
+				mode = General
+			} else {
+				mode = Lite
+			}
+		}
+	}()
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			rng := stats.NewRand(seed + 101)
+			for i := 0; i < perG; i++ {
+				fl := rng.IntN(2_000)
+				p := packet.Packet{
+					Ts: int64(i),
+					Tuple: packet.FiveTuple{
+						SrcIP: packet.Addr(fl + 1), DstIP: packet.Addr(fl + 5),
+						SrcPort: uint16(fl), DstPort: 22, Proto: packet.ProtoTCP,
+					},
+					Size: 64,
+				}
+				rec, res := c.Process(&p)
+				if res.Outcome != HostPunt && rec == nil {
+					t.Error("non-punt outcome returned nil record")
+					return
+				}
+			}
+		}(uint64(g))
+	}
+	wg.Wait()
+	close(stopFlip)
+	flipper.Wait()
+
+	st := c.Stats()
+	if got, want := st.Processed()+st.HostPunts, uint64(goroutines*perG); got != want {
+		t.Errorf("conservation under mode flips: %d, want %d", got, want)
+	}
+}
+
+// TestConcurrentReadersAndWriters mixes Process with Lookup, UpdateState,
+// Pin/Unpin, Evict, Snapshot and Stats — the full external API — from
+// separate goroutines.
+func TestConcurrentReadersAndWriters(t *testing.T) {
+	c := New(contendedConfig())
+	keyOf := func(fl int) packet.FlowKey {
+		return packet.FiveTuple{
+			SrcIP: packet.Addr(fl + 1), DstIP: packet.Addr(fl + 5),
+			SrcPort: uint16(fl), DstPort: 80, Proto: packet.ProtoTCP,
+		}.Canonical()
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			rng := stats.NewRand(seed + 7)
+			for i := 0; i < 10_000; i++ {
+				fl := rng.IntN(500)
+				p := packet.Packet{Ts: int64(i), Tuple: keyOf(fl).Tuple(), Size: 64}
+				c.Process(&p)
+			}
+		}(uint64(g))
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := stats.NewRand(999)
+		for i := 0; i < 10_000; i++ {
+			fl := rng.IntN(500)
+			switch i % 5 {
+			case 0:
+				c.Lookup(keyOf(fl))
+			case 1:
+				c.UpdateState(keyOf(fl), func(r *Record) { r.State++ })
+			case 2:
+				c.Pin(keyOf(fl))
+				c.Unpin(keyOf(fl))
+			case 3:
+				c.Evict(keyOf(fl))
+			case 4:
+				n := 0
+				c.Snapshot(func(Record) bool { n++; return n < 64 })
+				c.Stats()
+			}
+		}
+	}()
+	wg.Wait()
+	if c.Stats().Processed() == 0 {
+		t.Fatal("nothing processed")
+	}
+}

@@ -1,0 +1,89 @@
+package packet
+
+// bufferedDepth is the number of in-flight batches a Buffered stream
+// cycles through: one being filled by the producer, one being drained by
+// the consumer, and two queued so neither side stalls on a momentary
+// speed mismatch.
+const bufferedDepth = 4
+
+// Buffered decouples a Stream's producer from its consumer: the source
+// runs on its own goroutine (trace synthesis, pcap decoding) while the
+// caller's loop (typically the sNIC simulator) drains it, so generation
+// and replay overlap on multi-core machines.
+//
+// Packets cross the goroutine boundary in reused fixed-size batches, so
+// the steady state performs zero per-packet channel operations and zero
+// allocations: batch slices are allocated once up front and recycled
+// through a free list. Ordering is preserved exactly — Buffered(s, n)
+// yields the same packets in the same order as s, making it safe for the
+// deterministic experiment pipeline.
+//
+// batch is the packets-per-handoff granularity (values below 1 select a
+// default of 256). The producer goroutine always terminates: if the
+// consumer stops early, a stop signal unblocks the producer's next
+// handoff and the source iterator is abandoned.
+func Buffered(s Stream, batch int) Stream {
+	if batch < 1 {
+		batch = 256
+	}
+	return func(yield func(Packet) bool) {
+		full := make(chan []Packet, bufferedDepth)
+		free := make(chan []Packet, bufferedDepth)
+		stop := make(chan struct{})
+		store := make([]Packet, bufferedDepth*batch)
+		for i := 0; i < bufferedDepth; i++ {
+			free <- store[i*batch : i*batch : (i+1)*batch]
+		}
+
+		go func() {
+			defer close(full)
+			buf := <-free // seeded above; first take cannot block
+			s(func(p Packet) bool {
+				buf = append(buf, p)
+				if len(buf) < batch {
+					return true
+				}
+				select {
+				case full <- buf:
+				case <-stop:
+					return false
+				}
+				select {
+				case buf = <-free:
+				case <-stop:
+					return false
+				}
+				buf = buf[:0]
+				return true
+			})
+			if len(buf) > 0 {
+				select {
+				case full <- buf:
+				case <-stop:
+				}
+			}
+		}()
+
+		stopped := false
+		for b := range full {
+			if !stopped {
+				for i := range b {
+					if !yield(b[i]) {
+						// Unblock the producer, then keep draining full so
+						// its close is observed and no batch send can hang.
+						stopped = true
+						close(stop)
+						break
+					}
+				}
+			}
+			select {
+			case free <- b[:0]:
+			default:
+			}
+		}
+		if !stopped {
+			close(stop)
+		}
+	}
+}

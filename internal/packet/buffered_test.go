@@ -1,0 +1,92 @@
+package packet
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+func seqStream(n int) Stream {
+	return func(yield func(Packet) bool) {
+		for i := 0; i < n; i++ {
+			if !yield(Packet{Ts: int64(i), Size: uint16(i)}) {
+				return
+			}
+		}
+	}
+}
+
+func TestBufferedPreservesOrder(t *testing.T) {
+	for _, batch := range []int{1, 3, 256, 10_000} {
+		got := Collect(Buffered(seqStream(1000), batch))
+		if len(got) != 1000 {
+			t.Fatalf("batch %d: got %d packets, want 1000", batch, len(got))
+		}
+		for i, p := range got {
+			if p.Ts != int64(i) {
+				t.Fatalf("batch %d: packet %d has Ts %d (reordered)", batch, i, p.Ts)
+			}
+		}
+	}
+}
+
+func TestBufferedEmptyStream(t *testing.T) {
+	if got := Collect(Buffered(seqStream(0), 64)); len(got) != 0 {
+		t.Fatalf("empty stream yielded %d packets", len(got))
+	}
+}
+
+func TestBufferedDefaultBatch(t *testing.T) {
+	if n := Count(Buffered(seqStream(700), 0)); n != 700 {
+		t.Fatalf("got %d packets, want 700", n)
+	}
+}
+
+// TestBufferedEarlyStop ensures an abandoned consumer does not strand the
+// producer goroutine (the stop channel must unblock its pending handoff).
+func TestBufferedEarlyStop(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for trial := 0; trial < 50; trial++ {
+		n := 0
+		for range Buffered(seqStream(100_000), 64) {
+			n++
+			if n == 5 {
+				break
+			}
+		}
+		if n != 5 {
+			t.Fatalf("consumed %d packets, want 5", n)
+		}
+	}
+	// Producers exit asynchronously after the stop signal; poll briefly.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines grew from %d to %d: producer leak", before, runtime.NumGoroutine())
+}
+
+// TestBufferedInfiniteSourceEarlyStop exercises the Limit-style pattern
+// against a source that never ends on its own.
+func TestBufferedInfiniteSourceEarlyStop(t *testing.T) {
+	infinite := func(yield func(Packet) bool) {
+		for i := 0; ; i++ {
+			if !yield(Packet{Ts: int64(i)}) {
+				return
+			}
+		}
+	}
+	got := Collect(Limit(Buffered(infinite, 32), 1000))
+	if len(got) != 1000 {
+		t.Fatalf("got %d packets, want 1000", len(got))
+	}
+	for i, p := range got {
+		if p.Ts != int64(i) {
+			t.Fatalf("packet %d has Ts %d", i, p.Ts)
+		}
+	}
+}
