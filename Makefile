@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check bench experiments clean
+.PHONY: all build vet test race shards check bench experiments clean
 
 all: check
 
@@ -22,6 +22,13 @@ test:
 # full-sweep determinism test (covered by `make test`).
 race:
 	$(GO) test -race -short ./internal/flowcache/ ./internal/snic/ ./internal/core/ ./internal/experiments/ ./internal/packet/
+
+# Shard-determinism gate (DESIGN.md §8.4): the sharded FlowCache, the tier
+# pipeline, and the event bus under the race detector — parallel replay must
+# reproduce sequential state and the tiered platform must match legacy.
+shards:
+	$(GO) vet ./...
+	$(GO) test -race -run 'Shard|Bus|Pipeline|Event|TierPipeline|AtomicCounts' ./internal/flowcache/ ./internal/tier/ ./internal/core/
 
 check: vet build test race
 

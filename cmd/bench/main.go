@@ -4,8 +4,10 @@
 //
 // It measures two layers:
 //
-//   - micro: the FlowCache Process hot path, the sNIC dispatch loop, and
-//     the buffered stream bridge, via testing.Benchmark (ns/op, allocs/op);
+//   - micro: the FlowCache Process hot path, the sNIC dispatch loop, the
+//     buffered stream bridge, and the sharded FlowCache datapath
+//     (sequential vs one-worker-per-shard, 64k packets per op), via
+//     testing.Benchmark (ns/op, allocs/op);
 //   - macro: wall-clock for the full `experiments all` sweep at a small
 //     scale, sequential vs parallel, plus the resulting speedup.
 //
@@ -148,6 +150,29 @@ func main() {
 		n := 0
 		for range packet.Buffered(src, 512) {
 			n++
+		}
+	}))
+
+	// Sharded datapath: one op is the whole 64k-packet slice, so the
+	// shards=1 and shards=4 numbers divide directly into per-packet cost
+	// and unsharded-vs-sharded throughput.
+	fmt.Fprintln(os.Stderr, "bench: sharded flowcache, shards=1 sequential (64k pkts/op) ...")
+	sh1 := flowcache.NewSharded(1, flowcache.DefaultConfig(10), flowcache.ControllerConfig{})
+	snap.Micro["flowcache_sharded1_64k"] = toMicro(testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for j := range pkts {
+				sh1.ObserveProcess(&pkts[j])
+			}
+		}
+	}))
+
+	fmt.Fprintln(os.Stderr, "bench: sharded flowcache, shards=4 parallel workers (64k pkts/op) ...")
+	sh4 := flowcache.NewSharded(4, flowcache.DefaultConfig(10), flowcache.ControllerConfig{})
+	snap.Micro["flowcache_sharded4_parallel_64k"] = toMicro(testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sh4.RunParallel(pkts, 256)
 		}
 	}))
 

@@ -32,6 +32,7 @@ func main() {
 		detectors  = flag.String("detectors", "ssh,portscan,rst,incomplete,dns,worm,ssl", "comma-separated detectors: ssh,ftp,kerberos,portscan,rst,incomplete,dns,worm,ssl,microburst")
 		intervalMs = flag.Int("interval", 100, "monitoring interval (virtual ms)")
 		rowBits    = flag.Int("rowbits", 14, "FlowCache rows = 2^rowbits (x12 buckets)")
+		shards     = flag.Int("shards", 1, "FlowCache shards (power of two; capacity is split, not multiplied)")
 		verbose    = flag.Bool("v", false, "print every alert")
 		ipfixOut   = flag.String("ipfix", "", "export the flow log as IPFIX to this file")
 		emitP4     = flag.String("emit-p4", "", "write the switch query set as a P4-16 program to this file (requires -switch)")
@@ -58,6 +59,7 @@ func main() {
 	cfg := core.Config{
 		IntervalNs: int64(*intervalMs) * 1e6,
 		Detectors:  dets,
+		Shards:     *shards,
 	}
 	if *rowBits > 0 {
 		cfg.Cache = flowcache.DefaultConfig(*rowBits)

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"testing"
+
+	"smartwatch/internal/detect"
+	"smartwatch/internal/flowcache"
+	"smartwatch/internal/packet"
+	"smartwatch/internal/snic"
+	"smartwatch/internal/tier"
+)
+
+func wlKey() packet.FlowKey {
+	return packet.FiveTuple{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 22, Proto: packet.ProtoTCP}.Canonical()
+}
+
+// seedRecord inserts and pins one record so whitelist/unpin have a
+// target.
+func seedRecord(pl *Platform, k packet.FlowKey) {
+	p := packet.Packet{Tuple: k.Tuple(), Size: 64}
+	pl.Cache().Process(&p)
+	pl.Cache().Pin(k)
+}
+
+// TestWhitelistEventGolden: PR-1's whitelist behaviour — switch entry
+// installed, cache record unpinned, in that order — must reproduce when
+// the request travels the bus instead of direct calls.
+func TestWhitelistEventGolden(t *testing.T) {
+	legacy := New(Config{EnableSwitch: true, Queries: sshQueries(), LegacyPipeline: true})
+	tiered := New(Config{EnableSwitch: true, Queries: sshQueries()})
+	k := wlKey()
+	for _, pl := range []*Platform{legacy, tiered} {
+		seedRecord(pl, k)
+		pl.Whitelist(k)
+	}
+
+	for name, pl := range map[string]*Platform{"legacy": legacy, "tiered": tiered} {
+		if got := pl.Switch().WhitelistCount(); got != 1 {
+			t.Errorf("%s: whitelist count = %d, want 1", name, got)
+		}
+		rec, ok := pl.Cache().Lookup(k)
+		if !ok || rec.Pinned {
+			t.Errorf("%s: record still pinned after whitelist (ok=%v)", name, ok)
+		}
+	}
+	// Only the tiered platform used the bus, and with the right fanout.
+	if got := tiered.Bus().Stats().PublishedFor(tier.KindWhitelist); got != 1 {
+		t.Errorf("tiered whitelist events = %d, want 1", got)
+	}
+	if got := legacy.Bus().Stats().Delivered; got != 0 {
+		t.Errorf("legacy platform delivered %d bus events, want 0", got)
+	}
+	// Delivery order is the legacy call order: switch first, then unpin.
+	subs := tiered.Bus().Subscribers(tier.KindWhitelist)
+	if len(subs) != 2 || subs[0] != "switch-program" || subs[1] != "cache-unpin" {
+		t.Errorf("whitelist subscriber order = %v", subs)
+	}
+}
+
+// TestBlacklistEventGolden: blacklist via the bus installs the same
+// switch drop rule as the direct call.
+func TestBlacklistEventGolden(t *testing.T) {
+	legacy := New(Config{EnableSwitch: true, Queries: sshQueries(), LegacyPipeline: true})
+	tiered := New(Config{EnableSwitch: true, Queries: sshQueries()})
+	a := packet.MustParseAddr("203.0.113.9")
+	legacy.Blacklist(a)
+	tiered.Blacklist(a)
+	if !legacy.Switch().Blacklisted(a) || !tiered.Switch().Blacklisted(a) {
+		t.Error("blacklist did not reach the switch on both paths")
+	}
+	if got := tiered.Bus().Stats().PublishedFor(tier.KindBlacklist); got != 1 {
+		t.Errorf("tiered blacklist events = %d, want 1", got)
+	}
+}
+
+// TestUnpinEvent: the hook-driven unpin travels the bus too.
+func TestUnpinEvent(t *testing.T) {
+	pl := New(Config{})
+	k := wlKey()
+	seedRecord(pl, k)
+	pl.Unpin(k)
+	rec, ok := pl.Cache().Lookup(k)
+	if !ok || rec.Pinned {
+		t.Errorf("unpin event did not release the record (ok=%v)", ok)
+	}
+	if got := pl.Bus().Stats().PublishedFor(tier.KindUnpin); got != 1 {
+		t.Errorf("unpin events = %d, want 1", got)
+	}
+}
+
+// scriptedDetector fires one fixed reaction on the first packet.
+type scriptedDetector struct {
+	react detect.Reaction
+	fired bool
+}
+
+func (d *scriptedDetector) Name() string { return "scripted" }
+func (d *scriptedDetector) OnPacket(p *packet.Packet, rec *flowcache.Record, ctx snic.Ctx) detect.Reaction {
+	if d.fired {
+		return detect.Reaction{}
+	}
+	d.fired = true
+	return d.react
+}
+func (d *scriptedDetector) Tick(int64)            {}
+func (d *scriptedDetector) Drain() []detect.Alert { return nil }
+
+// TestDetectorReactionsBecomeEvents: in-datapath detector verdicts leave
+// the sNIC tier as bus events tagged with their origin.
+func TestDetectorReactionsBecomeEvents(t *testing.T) {
+	det := &scriptedDetector{react: detect.Reaction{Whitelist: true, BlacklistSrc: true}}
+	pl := New(Config{
+		EnableSwitch: true, Queries: sshQueries(),
+		Detectors: []detect.Detector{det},
+	})
+	var origins []string
+	pl.Bus().Subscribe(tier.KindWhitelist, "test-observer", func(e tier.Event) {
+		origins = append(origins, e.(tier.WhitelistEvent).Origin)
+	})
+	src := packet.MustParseAddr("198.51.100.1")
+	p := packet.Packet{
+		Ts: 1e6,
+		Tuple: packet.FiveTuple{SrcIP: src, DstIP: 2, SrcPort: 40000, DstPort: 8080,
+			Proto: packet.ProtoTCP},
+		Size: 64,
+	}
+	// Drive the sNIC-side pipeline directly: with the switch enabled the
+	// wire side would fast-path this unsteered packet, and the point here
+	// is the datapath stage's event publication.
+	pl.tierHandler(&p, snic.Ctx{})
+	if !pl.Switch().Blacklisted(src) {
+		t.Error("detector blacklist reaction never reached the switch")
+	}
+	if pl.Switch().WhitelistCount() != 1 {
+		t.Error("detector whitelist reaction never reached the switch")
+	}
+	if len(origins) != 1 || origins[0] != "detector" {
+		t.Errorf("whitelist origins = %v, want [detector]", origins)
+	}
+}
+
+// TestEventHooks: detect.EventHooks publishes instead of calling.
+func TestEventHooks(t *testing.T) {
+	bus := tier.NewBus()
+	var got []string
+	bus.Subscribe(tier.KindWhitelist, "rec", func(e tier.Event) {
+		got = append(got, "wl:"+e.(tier.WhitelistEvent).Origin)
+	})
+	bus.Subscribe(tier.KindBlacklist, "rec", func(e tier.Event) {
+		got = append(got, "bl:"+e.(tier.BlacklistEvent).Origin)
+	})
+	bus.Subscribe(tier.KindUnpin, "rec", func(e tier.Event) {
+		got = append(got, "up:"+e.(tier.UnpinEvent).Origin)
+	})
+	h := detect.EventHooks{Bus: bus, Origin: "test"}
+	h.Whitelist(wlKey())
+	h.Blacklist(1)
+	h.Unpin(wlKey())
+	want := []string{"wl:test", "bl:test", "up:test"}
+	if len(got) != len(want) {
+		t.Fatalf("events = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	// Default origin.
+	var def string
+	bus2 := tier.NewBus()
+	bus2.Subscribe(tier.KindUnpin, "rec", func(e tier.Event) {
+		def = e.(tier.UnpinEvent).Origin
+	})
+	detect.EventHooks{Bus: bus2}.Unpin(wlKey())
+	if def != "hooks" {
+		t.Errorf("default origin = %q, want hooks", def)
+	}
+}
+
+// TestIntervalEventSequence: interval events carry 1-based sequence
+// numbers matching the interval counter.
+func TestIntervalEventSequence(t *testing.T) {
+	pl := New(Config{IntervalNs: 10e6})
+	var seqs []uint64
+	pl.Bus().Subscribe(tier.KindInterval, "test-observer", func(e tier.Event) {
+		seqs = append(seqs, e.(tier.IntervalEvent).Seq)
+	})
+	var pkts []packet.Packet
+	for i := 0; i < 50; i++ {
+		pkts = append(pkts, packet.Packet{
+			Ts: int64(i) * 1e6,
+			Tuple: packet.FiveTuple{SrcIP: packet.Addr(i%5 + 1), DstIP: 99,
+				SrcPort: uint16(1000 + i), DstPort: 443, Proto: packet.ProtoTCP},
+			Size: 64,
+		})
+	}
+	rep := pl.Run(packet.StreamOf(pkts))
+	if len(seqs) == 0 {
+		t.Fatal("no interval events")
+	}
+	for i, s := range seqs {
+		if s != uint64(i+1) {
+			t.Fatalf("interval seq = %v, want 1..n contiguous", seqs)
+		}
+	}
+	if rep.Counts.Intervals != uint64(len(seqs)) {
+		t.Errorf("Counts.Intervals = %d, events = %d", rep.Counts.Intervals, len(seqs))
+	}
+}

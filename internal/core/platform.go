@@ -4,17 +4,29 @@
 // NFs, and the control loop closing the system (query firing -> steering,
 // detector verdicts -> whitelist/blacklist, arrival rate -> FlowCache mode
 // switchovers).
+//
+// Since the tier refactor (DESIGN.md §8) the assembly is explicit: each
+// packet travels a tier.Pipeline (ingest → steer on the wire side,
+// datapath → host inside the sNIC simulation) and every cross-tier
+// control action is a typed event on a tier.Bus — the switch and the host
+// subscribe to the kinds they serve instead of being called directly from
+// detector code. Config.LegacyPipeline keeps the old monolithic wiring
+// (legacy.go) alive as a determinism oracle: at Shards=1 both paths must
+// produce byte-identical reports, which TestTierPipelineMatchesLegacy
+// checks.
 package core
 
 import (
-	"sort"
+	"sync/atomic"
 
+	"smartwatch/internal/container"
 	"smartwatch/internal/detect"
 	"smartwatch/internal/flowcache"
 	"smartwatch/internal/host"
 	"smartwatch/internal/p4switch"
 	"smartwatch/internal/packet"
 	"smartwatch/internal/snic"
+	"smartwatch/internal/tier"
 )
 
 // Config assembles a platform.
@@ -23,6 +35,10 @@ type Config struct {
 	Cache flowcache.Config
 	// Controller tunes the General/Lite switchover (Alg. 4).
 	Controller flowcache.ControllerConfig
+	// Shards partitions the FlowCache into independent per-island slices
+	// (power of two; 0 or 1 means unsharded). Total capacity is invariant:
+	// each shard gets RowBits-log2(Shards) row bits.
+	Shards int
 	// SNIC is the datapath simulation config.
 	SNIC snic.Config
 	// EnableSwitch turns the P4 switch tier on; without it every packet
@@ -44,13 +60,17 @@ type Config struct {
 	Detectors []detect.Detector
 	// KVLog optionally persists interval flushes (see host.NewKVStore).
 	KVLog *host.KVStore
+	// LegacyPipeline routes packets through the pre-tier monolithic
+	// handler instead of the stage pipeline. It exists as a determinism
+	// oracle for tests and will be removed once the pipeline has soaked.
+	LegacyPipeline bool
 }
 
 // Platform is one assembled SmartWatch instance.
 type Platform struct {
 	cfg       Config
-	cache     *flowcache.Cache
-	ctl       *flowcache.Controller
+	bus       *tier.Bus
+	cache     *flowcache.Sharded
 	sw        *p4switch.Switch
 	tracker   *p4switch.Tracker
 	store     *host.FlowStore
@@ -59,9 +79,18 @@ type Platform struct {
 	detectors *detect.Chain
 	alerts    []detect.Alert
 
+	hostStage *host.Stage
+	flusher   *host.Flusher
+	wire      *tier.Pipeline
+	nic       *tier.Pipeline
+	// wireCtx / nicCtx are reused across packets (one driving goroutine
+	// each), keeping the hot path allocation-free.
+	wireCtx tier.Context
+	nicCtx  tier.Context
+
 	nextInterval int64
 	nextTick     int64
-	counts       Counts
+	counts       atomicCounts
 }
 
 // Counts aggregates platform-level packet accounting.
@@ -82,10 +111,33 @@ type Counts struct {
 	Intervals uint64
 }
 
+// atomicCounts is the shard-safe accumulator behind Counts: parallel
+// shard workers may bump ToHost/Blocked concurrently, so every field is
+// atomic. snapshot() materialises the exported plain struct.
+type atomicCounts struct {
+	total, forwardedDirect, droppedAtSwitch atomic.Uint64
+	toSNIC, toHost, blocked, intervals      atomic.Uint64
+}
+
+func (c *atomicCounts) snapshot() Counts {
+	return Counts{
+		Total:           c.total.Load(),
+		ForwardedDirect: c.forwardedDirect.Load(),
+		DroppedAtSwitch: c.droppedAtSwitch.Load(),
+		ToSNIC:          c.toSNIC.Load(),
+		ToHost:          c.toHost.Load(),
+		Blocked:         c.blocked.Load(),
+		Intervals:       c.intervals.Load(),
+	}
+}
+
 // New assembles a platform.
 func New(cfg Config) *Platform {
 	if cfg.Cache.RowBits == 0 {
 		cfg.Cache = flowcache.DefaultConfig(12)
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
 	}
 	if cfg.SNIC.Profile.ClockHz == 0 {
 		cfg.SNIC = snic.DefaultConfig()
@@ -96,9 +148,8 @@ func New(cfg Config) *Platform {
 	if cfg.TickNs <= 0 {
 		cfg.TickNs = cfg.IntervalNs / 10
 	}
-	pl := &Platform{cfg: cfg}
-	pl.cache = flowcache.New(cfg.Cache)
-	pl.ctl = flowcache.NewController(pl.cache, cfg.Controller)
+	pl := &Platform{cfg: cfg, bus: tier.NewBus()}
+	pl.cache = flowcache.NewSharded(cfg.Shards, cfg.Cache, cfg.Controller)
 	pl.store = host.NewFlowStore(cfg.HostCost)
 	pl.kv = cfg.KVLog
 	if pl.kv == nil {
@@ -118,13 +169,64 @@ func New(cfg Config) *Platform {
 		}
 		pl.tracker = p4switch.NewTracker(cfg.Queries, 0)
 	}
+	pl.hostStage = &host.Stage{Ports: pl.ports}
+	pl.flusher = &host.Flusher{Store: pl.store, Ports: pl.ports, KV: pl.kv, Rings: pl.cache.Rings()}
 	pl.nextInterval = cfg.IntervalNs
 	pl.nextTick = cfg.TickNs
+	if !cfg.LegacyPipeline {
+		pl.wireBus()
+		pl.buildPipelines()
+	}
 	return pl
 }
 
-// Cache exposes the FlowCache (experiments, examples).
-func (pl *Platform) Cache() *flowcache.Cache { return pl.cache }
+// wireBus subscribes the tiers to the control-plane kinds they serve.
+// Subscription order is delivery order, and it reproduces the legacy
+// call order exactly: whitelist programs the switch before releasing the
+// pin; an interval steers at the switch before the host flushes.
+func (pl *Platform) wireBus() {
+	if pl.sw != nil {
+		pl.bus.Subscribe(tier.KindWhitelist, "switch-program", func(e tier.Event) {
+			_ = pl.sw.Whitelist(e.(tier.WhitelistEvent).Key) // a full table only costs the fast path
+		})
+		pl.bus.Subscribe(tier.KindBlacklist, "switch-program", func(e tier.Event) {
+			pl.sw.Blacklist(e.(tier.BlacklistEvent).Addr)
+		})
+		pl.bus.Subscribe(tier.KindInterval, "switch-steer", func(e tier.Event) {
+			pl.sw.CloseInterval(pl.tracker)
+		})
+	}
+	pl.bus.Subscribe(tier.KindWhitelist, "cache-unpin", func(e tier.Event) {
+		pl.cache.Unpin(e.(tier.WhitelistEvent).Key)
+	})
+	pl.bus.Subscribe(tier.KindUnpin, "cache-unpin", func(e tier.Event) {
+		pl.cache.Unpin(e.(tier.UnpinEvent).Key)
+	})
+	pl.bus.Subscribe(tier.KindInterval, "host-flush", func(e tier.Event) {
+		pl.flusher.OnInterval(e.(tier.IntervalEvent).Ts)
+	})
+	// Mode flips surface as events too (observability; nothing reacts yet).
+	pl.cache.OnModeSwitch = func(shard int, m flowcache.Mode, rate float64, ts int64) {
+		pl.bus.Publish(tier.ModeSwitchEvent{Shard: shard, Mode: m, Rate: rate, Ts: ts})
+	}
+}
+
+// buildPipelines assembles the wire-side and sNIC-side stage chains.
+func (pl *Platform) buildPipelines() {
+	var steer tier.Stage
+	if pl.sw != nil {
+		steer = &p4switch.SteerStage{SW: pl.sw, Tracker: pl.tracker}
+	}
+	pl.wire = tier.NewPipeline(&ingestStage{pl}, steer)
+	pl.nic = tier.NewPipeline(&datapathStage{pl}, pl.hostStage)
+}
+
+// Bus exposes the control-plane event bus (tests, observability).
+func (pl *Platform) Bus() *tier.Bus { return pl.bus }
+
+// Cache exposes the (sharded) FlowCache; at Shards=1 it behaves exactly
+// like the plain cache did.
+func (pl *Platform) Cache() *flowcache.Sharded { return pl.cache }
 
 // Switch exposes the P4 switch tier (nil when disabled).
 func (pl *Platform) Switch() *p4switch.Switch { return pl.sw }
@@ -138,28 +240,47 @@ func (pl *Platform) KV() *host.KVStore { return pl.kv }
 // Ports exposes the host NF ports for attaching functions.
 func (pl *Platform) Ports() *host.Ports { return pl.ports }
 
-// Controller exposes the FlowCache mode controller.
-func (pl *Platform) Controller() *flowcache.Controller { return pl.ctl }
+// Controller exposes shard 0's mode controller (THE controller at
+// Shards=1).
+func (pl *Platform) Controller() *flowcache.Controller { return pl.cache.Controller() }
+
+// PipelineNames reports the assembled stage order (empty under
+// LegacyPipeline) — wire side first, then the sNIC side.
+func (pl *Platform) PipelineNames() []string {
+	if pl.wire == nil {
+		return nil
+	}
+	return append(pl.wire.Names(), pl.nic.Names()...)
+}
 
 // Hooks implementation for detectors -------------------------------------
 
 // Unpin implements detect.Hooks.
-func (pl *Platform) Unpin(k packet.FlowKey) { pl.cache.Unpin(k) }
+func (pl *Platform) Unpin(k packet.FlowKey) {
+	if pl.cfg.LegacyPipeline {
+		pl.cache.Unpin(k)
+		return
+	}
+	pl.bus.Publish(tier.UnpinEvent{Key: k, Origin: "hooks"})
+}
 
 // Whitelist implements detect.Hooks: benign flows bypass steering at the
 // switch and release their sNIC pin.
 func (pl *Platform) Whitelist(k packet.FlowKey) {
-	if pl.sw != nil {
-		_ = pl.sw.Whitelist(k) // a full table only costs the fast path
+	if pl.cfg.LegacyPipeline {
+		pl.legacyWhitelist(k)
+		return
 	}
-	pl.cache.Unpin(k)
+	pl.bus.Publish(tier.WhitelistEvent{Key: k, Origin: "hooks"})
 }
 
 // Blacklist implements detect.Hooks.
 func (pl *Platform) Blacklist(a packet.Addr) {
-	if pl.sw != nil {
-		pl.sw.Blacklist(a)
+	if pl.cfg.LegacyPipeline {
+		pl.legacyBlacklist(a)
+		return
 	}
+	pl.bus.Publish(tier.BlacklistEvent{Addr: a, Origin: "hooks"})
 }
 
 // -------------------------------------------------------------------------
@@ -177,35 +298,50 @@ func (pl *Platform) maybeTick(ts int64) {
 	}
 }
 
-// endInterval is the control-loop heartbeat: close switch queries, steer
-// fired subsets, drain the sNIC rings, flush the flow log.
+// endInterval is the control-loop heartbeat. On the tier pipeline it is
+// one published event; the switch (steer fired subsets) and the host
+// (drain rings, advance NF timers, flush the flow log) subscribe in that
+// order.
 func (pl *Platform) endInterval(ts int64) {
-	pl.counts.Intervals++
-	if pl.sw != nil && pl.tracker != nil {
-		fired := pl.sw.EndInterval(pl.tracker.Candidates())
-		for _, fk := range fired {
-			if err := pl.sw.Steer(fk); err != nil {
-				break // SRAM exhausted; coarser queries needed
-			}
-		}
+	seq := pl.counts.intervals.Add(1)
+	if pl.cfg.LegacyPipeline {
+		pl.legacyEndInterval(ts)
+		return
 	}
-	pl.store.DrainRings(pl.cache.Rings())
-	pl.ports.Tick(ts)
-	_ = pl.kv.FlushInterval(ts, pl.store)
+	pl.bus.Publish(tier.IntervalEvent{Ts: ts, Seq: seq})
 }
 
-// handler is the sNIC application logic: FlowCache update, detector fan
-// out, reaction application.
-func (pl *Platform) handler(p *packet.Packet, ctx snic.Ctx) snic.Cost {
-	pl.ctl.Observe(p.Ts, 1) // CME rate tracking (Alg. 4)
-	rec, res := pl.cache.Process(p)
+// ingestStage opens the wire-side pipeline: platform accounting and
+// timer work due before this packet.
+type ingestStage struct{ pl *Platform }
+
+func (s *ingestStage) Name() string { return "ingest" }
+
+func (s *ingestStage) Handle(ctx *tier.Context) {
+	s.pl.counts.total.Add(1)
+	s.pl.maybeTick(ctx.Pkt.Ts)
+}
+
+// datapathStage is the sNIC tier: FlowCache update (with per-shard rate
+// observation), detector fan-out, reaction application. Control-plane
+// reactions (whitelist, blacklist) leave as bus events; datapath-local
+// ones (pin, unpin) act directly on the cache.
+type datapathStage struct{ pl *Platform }
+
+func (s *datapathStage) Name() string { return "datapath" }
+
+func (s *datapathStage) Handle(ctx *tier.Context) {
+	pl := s.pl
+	p := ctx.Pkt
+	rec, res := pl.cache.ObserveProcess(p)
+	ctx.Rec, ctx.Res = rec, res
 	if rec == nil && res.Outcome == flowcache.HostPunt {
 		// No sNIC record possible: the host takes the packet whole.
-		pl.ports.Deliver(p)
-		pl.counts.ToHost++
+		ctx.Punted = true
+		pl.hostStage.Deliver(ctx)
 	}
-	r := pl.detectors.OnPacket(p, rec, ctx)
-	cost := snic.Cost{Reads: res.Reads, Writes: res.Writes, ExtraCycles: r.ExtraCycles}
+	r := pl.detectors.OnPacket(p, rec, ctx.SNIC)
+	ctx.Cost = snic.Cost{Reads: res.Reads, Writes: res.Writes, ExtraCycles: r.ExtraCycles}
 	k := p.Key()
 	if r.Pin {
 		pl.cache.Pin(k)
@@ -214,20 +350,33 @@ func (pl *Platform) handler(p *packet.Packet, ctx snic.Ctx) snic.Cost {
 		pl.cache.Unpin(k)
 	}
 	if r.Whitelist {
-		pl.Whitelist(k)
+		pl.bus.Publish(tier.WhitelistEvent{Key: k, Origin: "detector"})
 	}
 	if r.BlacklistSrc {
-		pl.Blacklist(p.Tuple.SrcIP)
+		pl.bus.Publish(tier.BlacklistEvent{Addr: p.Tuple.SrcIP, Origin: "detector"})
 	}
 	if r.ToHost {
-		pl.ports.Deliver(p)
-		pl.counts.ToHost++
+		ctx.ToHost = true
 	}
 	if r.DropPacket {
-		cost.Drop = true
-		pl.counts.Blocked++
+		ctx.Cost.Drop = true
 	}
-	return cost
+}
+
+// tierHandler adapts the sNIC-side pipeline to the simulator's handler
+// contract, folding the context back into platform counters.
+func (pl *Platform) tierHandler(p *packet.Packet, sctx snic.Ctx) snic.Cost {
+	ctx := &pl.nicCtx
+	ctx.Reset(p)
+	ctx.SNIC = sctx
+	pl.nic.Process(ctx)
+	if ctx.HostDeliveries > 0 {
+		pl.counts.toHost.Add(uint64(ctx.HostDeliveries))
+	}
+	if ctx.Cost.Drop {
+		pl.counts.blocked.Add(1)
+	}
+	return ctx.Cost
 }
 
 // Report is a full platform run summary.
@@ -240,8 +389,11 @@ type Report struct {
 	SwitchStats p4switch.SwitchStats
 	// HostCPUNs is the modelled host CPU time consumed.
 	HostCPUNs float64
-	// Switchovers counts FlowCache mode flips.
+	// Switchovers counts FlowCache mode flips (summed across shards).
 	Switchovers uint64
+	// Events summarises control-plane bus traffic (zero under
+	// LegacyPipeline, which bypasses the bus).
+	Events tier.BusStats
 }
 
 // Run replays the stream through the full platform and returns the
@@ -252,25 +404,31 @@ type Report struct {
 // timestamp; per-interval analytics are exact, and the final flush of a
 // monitoring session is the authoritative lossless aggregate.
 func (pl *Platform) Run(s packet.Stream) Report {
-	engine := snic.New(pl.cfg.SNIC, pl.handler)
-	filtered := func(yield func(packet.Packet) bool) {
-		for p := range s {
-			pl.counts.Total++
-			pl.maybeTick(p.Ts)
-			if pl.sw != nil {
-				pl.tracker.Observe(&p)
-				switch pl.sw.Process(&p) {
-				case p4switch.Forward:
-					pl.counts.ForwardedDirect++
+	handler := pl.tierHandler
+	if pl.cfg.LegacyPipeline {
+		handler = pl.legacyHandler
+	}
+	engine := snic.New(pl.cfg.SNIC, handler)
+	var filtered packet.Stream
+	if pl.cfg.LegacyPipeline {
+		filtered = pl.legacyFilter(s)
+	} else {
+		filtered = func(yield func(packet.Packet) bool) {
+			ctx := &pl.wireCtx
+			for p := range s {
+				ctx.Reset(&p)
+				switch pl.wire.Process(ctx) {
+				case tier.ForwardDirect:
+					pl.counts.forwardedDirect.Add(1)
 					continue
-				case p4switch.Drop:
-					pl.counts.DroppedAtSwitch++
+				case tier.DropAtSwitch:
+					pl.counts.droppedAtSwitch.Add(1)
 					continue
 				}
-			}
-			pl.counts.ToSNIC++
-			if !yield(p) {
-				return
+				pl.counts.toSNIC.Add(1)
+				if !yield(p) {
+					return
+				}
 			}
 		}
 	}
@@ -282,18 +440,14 @@ func (pl *Platform) Run(s packet.Stream) Report {
 	// is identical.)
 	pl.maybeTick(pl.nextInterval)
 	pl.alerts = append(pl.alerts, pl.detectors.Drain()...)
-	pl.store.DrainRings(pl.cache.Rings())
-	pl.cache.Snapshot(func(r flowcache.Record) bool {
-		pl.store.Ingest(r)
-		return true
-	})
-	_ = pl.kv.FlushInterval(pl.nextInterval, pl.store)
+	pl.flusher.FinalFlush(pl.nextInterval, pl.cache.Snapshot)
 
 	out := Report{
-		Counts: pl.counts, SNIC: rep, Cache: pl.cache.Stats(),
+		Counts: pl.counts.snapshot(), SNIC: rep, Cache: pl.cache.Stats(),
 		Alerts:      pl.alerts,
 		HostCPUNs:   pl.store.CPUNs(),
-		Switchovers: pl.ctl.Switchovers(),
+		Switchovers: pl.cache.Switchovers(),
+		Events:      pl.bus.Stats(),
 	}
 	if pl.sw != nil {
 		out.SwitchStats = pl.sw.Stats()
@@ -304,87 +458,47 @@ func (pl *Platform) Run(s packet.Stream) Report {
 // Alerts returns everything raised so far.
 func (pl *Platform) Alerts() []detect.Alert { return pl.alerts }
 
-// topkCand is one WhitelistTopK candidate; ord is its FlowCache snapshot
-// position, used to break packet-count ties deterministically (earlier
-// snapshot order wins, matching the previous selection-sort behaviour).
-type topkCand struct {
-	key  packet.FlowKey
-	pkts uint64
-	ord  int
-}
-
-// topkWorse orders candidates weakest-first: fewer packets, then later
-// snapshot position among equals — the eviction order of the heap below.
-func topkWorse(a, b topkCand) bool {
-	if a.pkts != b.pkts {
-		return a.pkts < b.pkts
-	}
-	return a.ord > b.ord
-}
-
 // WhitelistTopK installs switch whitelist entries for the K heaviest
 // unflagged flows currently resident in the FlowCache — the hoverboard
 // heuristic of §3.1 (Fig. 2's x-axis knob). It returns how many entries
 // were installed.
 //
-// Selection is a streaming size-k min-heap over the cache snapshot:
-// O(n log k) versus the previous O(k·n) partial selection sort, which
-// dominated Fig. 2's runtime at large k. Entries install in descending
-// packet count (ties: earlier snapshot order first), identical to before.
+// Selection is a streaming size-k min-heap (container.Heap) over the
+// cache snapshot: O(n log k) versus the pre-PR-1 O(k·n) partial selection
+// sort. The heap key is (packet count, -snapshot order): the root is the
+// weakest candidate — fewest packets, latest snapshot position among
+// equals — and a newcomer replaces it only when strictly stronger.
+// Entries install in descending packet count (ties: earlier snapshot
+// order first), identical to the previous behaviour.
 func (pl *Platform) WhitelistTopK(k int, isMalicious func(packet.FlowKey) bool) int {
 	if pl.sw == nil || k <= 0 {
 		return 0
 	}
-	// h is a min-heap of the best k candidates seen so far, weakest at the
-	// root; a newcomer replaces the root only when it is strictly better.
-	h := make([]topkCand, 0, k)
-	siftDown := func(i int) {
-		for {
-			c := 2*i + 1
-			if c >= len(h) {
-				return
-			}
-			if c+1 < len(h) && topkWorse(h[c+1], h[c]) {
-				c++
-			}
-			if !topkWorse(h[c], h[i]) {
-				return
-			}
-			h[i], h[c] = h[c], h[i]
-			i = c
-		}
-	}
+	var h container.Heap[uint64, int, packet.FlowKey]
+	h.Grow(k)
 	ord := 0
 	pl.cache.Snapshot(func(r flowcache.Record) bool {
 		if isMalicious != nil && isMalicious(r.Key) {
 			return true
 		}
-		c := topkCand{r.Key, r.Pkts, ord}
+		it := container.Item[uint64, int, packet.FlowKey]{Pri: r.Pkts, Tie: -ord, Val: r.Key}
 		ord++
-		if len(h) < k {
-			h = append(h, c)
-			// Sift up.
-			for i := len(h) - 1; i > 0; {
-				parent := (i - 1) / 2
-				if !topkWorse(h[i], h[parent]) {
-					break
-				}
-				h[i], h[parent] = h[parent], h[i]
-				i = parent
-			}
-			return true
-		}
-		if topkWorse(h[0], c) {
-			h[0] = c
-			siftDown(0)
+		if h.Len() < k {
+			h.Push(it)
+		} else if h.Root().Less(it) {
+			*h.Root() = it
+			h.FixRoot()
 		}
 		return true
 	})
-	// Install strongest-first.
-	sort.Slice(h, func(i, j int) bool { return topkWorse(h[j], h[i]) })
+	// PopMin drains weakest-first; install in reverse, strongest-first.
+	ranked := make([]packet.FlowKey, h.Len())
+	for i := len(ranked) - 1; i >= 0; i-- {
+		ranked[i] = h.PopMin().Val
+	}
 	installed := 0
-	for i := range h {
-		if err := pl.sw.Whitelist(h[i].key); err != nil {
+	for _, key := range ranked {
+		if err := pl.sw.Whitelist(key); err != nil {
 			break
 		}
 		installed++

@@ -34,6 +34,7 @@ func Registry() []Exp {
 		{"fig10", Fig10Volumetric},
 		{"fig11a", Fig11aMicroburst},
 		{"fig11b", Fig11bThroughput},
+		{"shards", ShardedScaling},
 		{"table2", Table2Resources},
 		{"ablations", Ablations},
 		{"table3", Table3NICs},

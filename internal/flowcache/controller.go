@@ -14,6 +14,7 @@ type Controller struct {
 	etaHigh float64
 	// etaLow: switch back to General below this rate (pps).
 	etaLow      float64
+	onSwitch    func(m Mode, rate float64, ts int64)
 	switchovers uint64
 }
 
@@ -26,6 +27,11 @@ type ControllerConfig struct {
 	// EtaHigh / EtaLow are the Lite/General thresholds in packets/second;
 	// EtaLow < EtaHigh gives hysteresis.
 	EtaHigh, EtaLow float64
+	// OnSwitch, when set, observes every mode flip with the smoothed rate
+	// and the virtual time of the triggering packet — the control plane
+	// publishes these as tier.ModeSwitchEvent. It runs on the Observe
+	// caller's goroutine.
+	OnSwitch func(m Mode, rate float64, ts int64)
 }
 
 // DefaultControllerConfig mirrors the paper's operating point: General
@@ -34,8 +40,10 @@ func DefaultControllerConfig() ControllerConfig {
 	return ControllerConfig{Alpha: 0.75, WindowNs: 1e6, EtaHigh: 30e6, EtaLow: 25e6}
 }
 
-// NewController attaches a switchover controller to the cache.
-func NewController(c *Cache, cfg ControllerConfig) *Controller {
+// normalized resolves zero/invalid fields to the documented defaults; the
+// result is what NewController actually runs with. Sharded uses it to
+// scale per-shard thresholds from a fully resolved base.
+func (cfg ControllerConfig) normalized() ControllerConfig {
 	if cfg.Alpha <= 0 || cfg.Alpha > 1 {
 		cfg.Alpha = 0.75
 	}
@@ -48,11 +56,18 @@ func NewController(c *Cache, cfg ControllerConfig) *Controller {
 	if cfg.EtaLow <= 0 || cfg.EtaLow >= cfg.EtaHigh {
 		cfg.EtaLow = cfg.EtaHigh * 5 / 6
 	}
+	return cfg
+}
+
+// NewController attaches a switchover controller to the cache.
+func NewController(c *Cache, cfg ControllerConfig) *Controller {
+	cfg = cfg.normalized()
 	return &Controller{
-		cache:   c,
-		meter:   stats.NewRateMeter(cfg.Alpha, cfg.WindowNs),
-		etaHigh: cfg.EtaHigh,
-		etaLow:  cfg.EtaLow,
+		cache:    c,
+		meter:    stats.NewRateMeter(cfg.Alpha, cfg.WindowNs),
+		etaHigh:  cfg.EtaHigh,
+		etaLow:   cfg.EtaLow,
+		onSwitch: cfg.OnSwitch,
 	}
 }
 
@@ -65,11 +80,19 @@ func (ctl *Controller) Observe(ts int64, n int64) Mode {
 	case rate > ctl.etaHigh && mode != Lite:
 		ctl.cache.SetMode(Lite)
 		ctl.switchovers++
+		ctl.notify(Lite, rate, ts)
 	case rate < ctl.etaLow && mode != General:
 		ctl.cache.SetMode(General)
 		ctl.switchovers++
+		ctl.notify(General, rate, ts)
 	}
 	return ctl.cache.Mode()
+}
+
+func (ctl *Controller) notify(m Mode, rate float64, ts int64) {
+	if ctl.onSwitch != nil {
+		ctl.onSwitch(m, rate, ts)
+	}
 }
 
 // Rate returns the smoothed arrival rate (pps).

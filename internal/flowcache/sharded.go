@@ -1,0 +1,264 @@
+package flowcache
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+
+	"smartwatch/internal/packet"
+)
+
+// Sharded partitions the FlowCache into n independent shards, mirroring
+// the paper's per-island PMEs: each sNIC island owns a slice of the flow
+// table and a private mode controller, so islands never contend on rows
+// or switchover state. Shard selection uses the TOP bits of the flow
+// hash — orthogonal to the row index (low RowBits bits) and the Lite
+// slice selector (bits just above RowBits) — so every shard sees the same
+// row/bucket geometry it would in the unsharded cache.
+//
+// Total capacity is invariant: each shard gets RowBits − log2(n) row
+// bits, so n shards hold exactly as many records as one unsharded cache
+// with the base config. At n=1 a Sharded is bit-for-bit the plain Cache.
+//
+// Each shard has its own Controller with per-shard thresholds EtaHigh/n
+// and EtaLow/n (the per-island share of the aggregate rate), so the
+// aggregate switchover point matches the unsharded controller under a
+// uniform hash split.
+type Sharded struct {
+	shards []*Cache
+	ctls   []*Controller
+	// shift moves the flow hash's top log2(n) bits down to the shard
+	// index; 64 when n == 1 (Go defines x>>64 == 0 for uint64).
+	shift uint
+	base  Config
+
+	// OnModeSwitch, when set, observes every per-shard mode flip. With
+	// RunParallel it may be called from multiple shard workers
+	// concurrently; publishing to a tier.Bus is safe (the bus locks).
+	OnModeSwitch func(shard int, m Mode, rate float64, ts int64)
+}
+
+// NewSharded builds an n-shard cache from a base (unsharded) config. n
+// must be a power of two ≥ 1 and small enough to leave each shard at
+// least one row bit; invalid combinations panic, like New on a bad
+// Config.
+func NewSharded(n int, cfg Config, ctlCfg ControllerConfig) *Sharded {
+	if n < 1 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("flowcache: shard count %d is not a power of two >= 1", n))
+	}
+	lg := bits.TrailingZeros(uint(n))
+	if cfg.RowBits-lg < 1 {
+		panic(fmt.Sprintf("flowcache: %d shards leave %d row bits (need >= 1)", n, cfg.RowBits-lg))
+	}
+	s := &Sharded{
+		shards: make([]*Cache, n),
+		ctls:   make([]*Controller, n),
+		shift:  uint(64 - lg),
+		base:   cfg,
+	}
+	shardCfg := cfg
+	shardCfg.RowBits = cfg.RowBits - lg
+	shardCtl := ctlCfg.normalized()
+	shardCtl.EtaHigh /= float64(n)
+	shardCtl.EtaLow /= float64(n)
+	for i := 0; i < n; i++ {
+		i := i
+		c := New(shardCfg)
+		perShard := shardCtl
+		perShard.OnSwitch = func(m Mode, rate float64, ts int64) {
+			if s.OnModeSwitch != nil {
+				s.OnModeSwitch(i, m, rate, ts)
+			}
+		}
+		s.shards[i] = c
+		s.ctls[i] = NewController(c, perShard)
+	}
+	return s
+}
+
+// NumShards returns the shard count.
+func (s *Sharded) NumShards() int { return len(s.shards) }
+
+// Shard returns shard i's cache (for tests and diagnostics).
+func (s *Sharded) Shard(i int) *Cache { return s.shards[i] }
+
+// Controller returns shard 0's controller — the rate view callers of the
+// unsharded API expect (at n=1 it is THE controller).
+func (s *Sharded) Controller() *Controller { return s.ctls[0] }
+
+// ShardController returns shard i's controller.
+func (s *Sharded) ShardController(i int) *Controller { return s.ctls[i] }
+
+// Config returns the base (unsharded) configuration.
+func (s *Sharded) Config() Config { return s.base }
+
+func (s *Sharded) shardOf(hash uint64) int { return int(hash >> s.shift) }
+
+// ShardOf reports which shard owns the flow hash.
+func (s *Sharded) ShardOf(hash uint64) int { return s.shardOf(hash) }
+
+// Process runs the packet through its owning shard WITHOUT touching the
+// rate controller — the raw datapath operation, matching Cache.Process.
+func (s *Sharded) Process(p *packet.Packet) (*Record, Result) {
+	return s.shards[s.shardOf(p.Hash())].Process(p)
+}
+
+// ObserveProcess is the per-packet datapath step the platform runs: the
+// owning shard's controller observes the arrival (possibly flipping that
+// shard's mode), then the shard processes the packet. Matches the legacy
+// Observe-then-Process order exactly.
+func (s *Sharded) ObserveProcess(p *packet.Packet) (*Record, Result) {
+	i := s.shardOf(p.Hash())
+	s.ctls[i].Observe(p.Ts, 1)
+	return s.shards[i].Process(p)
+}
+
+// Lookup copies the record for key, if cached.
+func (s *Sharded) Lookup(key packet.FlowKey) (Record, bool) {
+	return s.shards[s.shardOf(key.Hash())].Lookup(key)
+}
+
+// Pin marks the flow's record unevictable.
+func (s *Sharded) Pin(key packet.FlowKey) bool {
+	return s.shards[s.shardOf(key.Hash())].Pin(key)
+}
+
+// Unpin clears the pin.
+func (s *Sharded) Unpin(key packet.FlowKey) bool {
+	return s.shards[s.shardOf(key.Hash())].Unpin(key)
+}
+
+// UpdateState runs fn on the flow's record under its row latch.
+func (s *Sharded) UpdateState(key packet.FlowKey, fn func(*Record)) bool {
+	return s.shards[s.shardOf(key.Hash())].UpdateState(key, fn)
+}
+
+// Evict force-removes the flow's record, pushing it to an eviction ring.
+func (s *Sharded) Evict(key packet.FlowKey) bool {
+	return s.shards[s.shardOf(key.Hash())].Evict(key)
+}
+
+// Mode returns shard 0's mode (the aggregate view callers of the
+// unsharded API expect; shards flip independently).
+func (s *Sharded) Mode() Mode { return s.shards[0].Mode() }
+
+// SetMode forces every shard into mode m.
+func (s *Sharded) SetMode(m Mode) {
+	for _, c := range s.shards {
+		c.SetMode(m)
+	}
+}
+
+// Rings returns every shard's eviction rings, shard-major — the host
+// drains them all, so ordering only affects drain sequence, which is
+// deterministic.
+func (s *Sharded) Rings() []*Ring {
+	if len(s.shards) == 1 {
+		return s.shards[0].Rings()
+	}
+	var out []*Ring
+	for _, c := range s.shards {
+		out = append(out, c.Rings()...)
+	}
+	return out
+}
+
+// Snapshot visits every cached record under row latches, shard 0 first.
+// fn returning false stops the walk across all shards.
+func (s *Sharded) Snapshot(fn func(Record) bool) {
+	stopped := false
+	for _, c := range s.shards {
+		c.Snapshot(func(r Record) bool {
+			if !fn(r) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+		if stopped {
+			return
+		}
+	}
+}
+
+// Occupancy sums live records across shards.
+func (s *Sharded) Occupancy() int {
+	n := 0
+	for _, c := range s.shards {
+		n += c.Occupancy()
+	}
+	return n
+}
+
+// Stats returns the field-wise sum of every shard's counters.
+func (s *Sharded) Stats() Stats {
+	var t Stats
+	for _, c := range s.shards {
+		st := c.Stats()
+		t.PHits += st.PHits
+		t.EHits += st.EHits
+		t.Misses += st.Misses
+		t.Inserts += st.Inserts
+		t.Evictions += st.Evictions
+		t.RingDrops += st.RingDrops
+		t.HostPunts += st.HostPunts
+		t.PinDenied += st.PinDenied
+		t.RowCleanups += st.RowCleanups
+		t.CleanupEvictions += st.CleanupEvictions
+		t.Reads += st.Reads
+		t.Writes += st.Writes
+	}
+	return t
+}
+
+// Switchovers sums mode flips across all shard controllers.
+func (s *Sharded) Switchovers() uint64 {
+	var n uint64
+	for _, ctl := range s.ctls {
+		n += ctl.Switchovers()
+	}
+	return n
+}
+
+// RunParallel processes pkts with one worker goroutine per shard: a
+// router walks the slice in order and hands each packet to its owning
+// shard's queue, where the worker runs the ObserveProcess step. Because
+// shards share no rows and each shard still sees ITS packets in arrival
+// order, the final cache state is identical to a sequential
+// ObserveProcess loop over the same slice — the determinism the
+// `make shards` CI job checks under -race. queue is the per-shard channel
+// depth (≤0 means 256). Returns the number of packets processed.
+func (s *Sharded) RunParallel(pkts []packet.Packet, queue int) uint64 {
+	if len(s.shards) == 1 {
+		for i := range pkts {
+			s.ObserveProcess(&pkts[i])
+		}
+		return uint64(len(pkts))
+	}
+	if queue <= 0 {
+		queue = 256
+	}
+	chans := make([]chan *packet.Packet, len(s.shards))
+	var wg sync.WaitGroup
+	for i := range s.shards {
+		chans[i] = make(chan *packet.Packet, queue)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctl, c := s.ctls[i], s.shards[i]
+			for p := range chans[i] {
+				ctl.Observe(p.Ts, 1)
+				c.Process(p)
+			}
+		}(i)
+	}
+	for i := range pkts {
+		p := &pkts[i]
+		chans[s.shardOf(p.Hash())] <- p
+	}
+	for _, ch := range chans {
+		close(ch)
+	}
+	wg.Wait()
+	return uint64(len(pkts))
+}

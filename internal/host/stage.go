@@ -1,0 +1,63 @@
+package host
+
+import (
+	"smartwatch/internal/flowcache"
+	"smartwatch/internal/tier"
+)
+
+// Stage adapts the host tier to the tier pipeline: packets a detector
+// forwarded (ctx.ToHost) are delivered to their SR-IOV NF port.
+type Stage struct {
+	Ports *Ports
+}
+
+// Name implements tier.Stage.
+func (s *Stage) Name() string { return "host" }
+
+// Handle implements tier.Stage.
+func (s *Stage) Handle(ctx *tier.Context) {
+	if ctx.ToHost {
+		s.Deliver(ctx)
+	}
+}
+
+// Deliver hands the packet to the host NF ports, recording the delivery
+// on the context. The datapath stage calls it directly for host punts,
+// which on the hardware bypass the verdict machinery entirely.
+func (s *Stage) Deliver(ctx *tier.Context) {
+	s.Ports.Deliver(ctx.Pkt)
+	ctx.HostDeliveries++
+}
+
+// Flusher is the host tier's interval worker, driven by
+// tier.KindInterval events: drain the sNIC eviction rings into the flow
+// store, advance the NF timers, persist the interval to the flow log.
+type Flusher struct {
+	Store *FlowStore
+	Ports *Ports
+	KV    *KVStore
+	// Rings are the FlowCache eviction rings to drain (shard-major when
+	// the datapath is sharded).
+	Rings []*flowcache.Ring
+}
+
+// OnInterval runs the per-interval host work in the legacy order: rings,
+// NF timers, flow-log flush.
+func (f *Flusher) OnInterval(ts int64) {
+	f.Store.DrainRings(f.Rings)
+	f.Ports.Tick(ts)
+	_ = f.KV.FlushInterval(ts, f.Store)
+}
+
+// FinalFlush is the lossless end-of-run export: drain the rings, ingest
+// every record still resident in the FlowCache via snapshot, and flush
+// under ts. Unlike OnInterval it does not advance NF timers — the run is
+// over.
+func (f *Flusher) FinalFlush(ts int64, snapshot func(func(flowcache.Record) bool)) {
+	f.Store.DrainRings(f.Rings)
+	snapshot(func(r flowcache.Record) bool {
+		f.Store.Ingest(r)
+		return true
+	})
+	_ = f.KV.FlushInterval(ts, f.Store)
+}

@@ -1,0 +1,54 @@
+package p4switch
+
+import (
+	"smartwatch/internal/packet"
+	"smartwatch/internal/tier"
+)
+
+// SteerStage adapts the switch tier to the tier pipeline: it observes the
+// packet for query refinement and applies the switch's forwarding
+// decision (whitelist fast path, blacklist drop, steer-to-sNIC) as a
+// pipeline verdict.
+type SteerStage struct {
+	SW *Switch
+	// Tracker feeds EndInterval's refinement candidates; optional.
+	Tracker *Tracker
+}
+
+// Name implements tier.Stage.
+func (s *SteerStage) Name() string { return "steer" }
+
+// Handle implements tier.Stage.
+func (s *SteerStage) Handle(ctx *tier.Context) {
+	if s.Tracker != nil {
+		s.Tracker.Observe(ctx.Pkt)
+	}
+	switch s.SW.Process(ctx.Pkt) {
+	case Forward:
+		ctx.Verdict = tier.ForwardDirect
+	case Drop:
+		ctx.Verdict = tier.DropAtSwitch
+	}
+}
+
+// CloseInterval runs the switch's end-of-interval control work: close the
+// query epoch against the tracker's refinement candidates and steer every
+// fired subset until SRAM runs out (at which point coarser queries are
+// needed — same stop rule as the inline control loop had). It returns the
+// number of subsets steered. The platform invokes it from the
+// tier.KindInterval bus subscription.
+func (s *Switch) CloseInterval(tr *Tracker) int {
+	var candidates map[string][]packet.Addr
+	if tr != nil {
+		candidates = tr.Candidates()
+	}
+	fired := s.EndInterval(candidates)
+	steered := 0
+	for _, fk := range fired {
+		if err := s.Steer(fk); err != nil {
+			break // SRAM exhausted; coarser queries needed
+		}
+		steered++
+	}
+	return steered
+}

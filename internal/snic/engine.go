@@ -1,6 +1,7 @@
 package snic
 
 import (
+	"smartwatch/internal/container"
 	"smartwatch/internal/packet"
 	"smartwatch/internal/stats"
 )
@@ -82,68 +83,14 @@ func (r Report) LossRate() float64 {
 	return float64(r.Dropped) / float64(t)
 }
 
-// threadSlot is one hardware thread in the scheduler: the time it next
-// becomes free and the micro-engine it belongs to.
-type threadSlot struct {
-	freeNs float64
-	pme    int
-}
-
-// threadHeap orders micro-engine threads by next-free time: the global
-// load balancer always hands the packet to the earliest-available thread.
-//
-// It is a flat 4-ary min-heap specialised to threadSlot — the dispatch
-// loop's only data structure, so it avoids container/heap's sort.Interface
-// boxing and per-comparison dynamic dispatch. A 4-ary layout halves the
-// tree depth of a binary heap (the hot loop only ever reorders the root
-// after a dispatch) at the cost of three extra comparisons per level,
-// which is a clear win when every comparison is an inlined float compare.
-// Ties on freeNs break toward the lower PME index, making thread selection
-// fully deterministic and independent of heap history.
-type threadHeap []threadSlot
-
-const threadHeapArity = 4
-
-// less orders by next-free time, then PME index.
-func (h threadHeap) less(i, j int) bool {
-	if h[i].freeNs != h[j].freeNs {
-		return h[i].freeNs < h[j].freeNs
-	}
-	return h[i].pme < h[j].pme
-}
-
-// siftDown restores the heap property below i after h[i] grew.
-func (h threadHeap) siftDown(i int) {
-	n := len(h)
-	for {
-		first := threadHeapArity*i + 1
-		if first >= n {
-			return
-		}
-		best := first
-		end := first + threadHeapArity
-		if end > n {
-			end = n
-		}
-		for c := first + 1; c < end; c++ {
-			if h.less(c, best) {
-				best = c
-			}
-		}
-		if !h.less(best, i) {
-			return
-		}
-		h[i], h[best] = h[best], h[i]
-		i = best
-	}
-}
-
-// init heapifies from the last parent down.
-func (h threadHeap) init() {
-	for i := (len(h) - 2) / threadHeapArity; i >= 0; i-- {
-		h.siftDown(i)
-	}
-}
+// threadHeap orders micro-engine threads by next-free time (Pri), then PME
+// index (Tie): the global load balancer always hands the packet to the
+// earliest-available thread, with ties breaking toward the lower PME index
+// so thread selection is fully deterministic and independent of heap
+// history. container.Heap is the same flat 4-ary layout the dispatch loop
+// always used; its cmp.Ordered keys keep every comparison an inlined float
+// compare (no sort.Interface boxing, no dynamic dispatch).
+type threadHeap = container.Heap[float64, int, struct{}]
 
 // Engine is the discrete-event sNIC simulator.
 type Engine struct {
@@ -167,13 +114,13 @@ func New(cfg Config, handler Handler) *Engine {
 	}
 	e := &Engine{cfg: cfg, handler: handler}
 	e.engineFree = make([]float64, cfg.Profile.PMEs)
-	e.threads = make(threadHeap, 0, cfg.Profile.PMEs*cfg.Profile.ThreadsPerPME)
+	slots := make([]container.Item[float64, int, struct{}], 0, cfg.Profile.PMEs*cfg.Profile.ThreadsPerPME)
 	for pme := 0; pme < cfg.Profile.PMEs; pme++ {
 		for t := 0; t < cfg.Profile.ThreadsPerPME; t++ {
-			e.threads = append(e.threads, threadSlot{pme: pme})
+			slots = append(slots, container.Item[float64, int, struct{}]{Tie: pme})
 		}
 	}
-	e.threads.init()
+	e.threads.Init(slots)
 	return e
 }
 
@@ -202,11 +149,14 @@ func (e *Engine) Run(s packet.Stream) Report {
 		readStallNs = prof.ReadNs
 		observer    = e.cfg.Observer
 		handler     = e.handler
-		threads     = e.threads
+		threads     = &e.threads
 		engineFree  = e.engineFree
 		latency     = rep.Latency
 		cur         packet.Packet
 	)
+	// The heap's root slot address is stable across FixRoot calls (no
+	// Push/Pop happens in the loop), so it is resolved once.
+	root := threads.Root()
 
 	for p := range s {
 		cur = p
@@ -229,15 +179,15 @@ func (e *Engine) Run(s packet.Stream) Report {
 
 		// Global load balancer: earliest-available thread.
 		start := ready
-		if threads[0].freeNs > start {
-			start = threads[0].freeNs
+		if root.Pri > start {
+			start = root.Pri
 		}
 		if start-arrival > queueDropNs {
 			// Input buffer overrun: the packet is lost before processing.
 			rep.Dropped++
 			continue
 		}
-		pme := threads[0].pme
+		pme := root.Tie
 
 		cost := handler(&cur, Ctx{QueueDelayNs: start - arrival})
 		engineTime := baseNs +
@@ -255,8 +205,8 @@ func (e *Engine) Run(s packet.Stream) Report {
 		// (yielding the engine to sibling threads meanwhile).
 		threadEnd := engineEnd + float64(cost.Reads)*readStallNs
 
-		threads[0].freeNs = threadEnd
-		threads.siftDown(0)
+		root.Pri = threadEnd
+		threads.FixRoot()
 
 		rep.Processed++
 		rep.EngineBusyNs += engineTime

@@ -1,0 +1,227 @@
+package tier
+
+import (
+	"fmt"
+	"sync"
+
+	"smartwatch/internal/flowcache"
+	"smartwatch/internal/packet"
+)
+
+// Kind classifies a control-plane event.
+type Kind uint8
+
+// Event kinds — the control-plane taxonomy (DESIGN.md §8.2).
+const (
+	// KindWhitelist: a flow was judged benign; the switch should fast-path
+	// it and the datapath should release its pinned record.
+	KindWhitelist Kind = iota
+	// KindBlacklist: a source was judged malicious; the switch should drop
+	// its traffic.
+	KindBlacklist
+	// KindUnpin: a detector released a pinned FlowCache record.
+	KindUnpin
+	// KindInterval: a monitoring interval closed; tiers flush and
+	// re-program.
+	KindInterval
+	// KindModeSwitch: a FlowCache shard flipped between General and Lite.
+	KindModeSwitch
+	kindCount
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindWhitelist:
+		return "whitelist"
+	case KindBlacklist:
+		return "blacklist"
+	case KindUnpin:
+		return "unpin"
+	case KindInterval:
+		return "interval"
+	case KindModeSwitch:
+		return "mode-switch"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Event is one typed control-plane message. The set is closed: every event
+// type lives in this package so subscribers can type-assert exhaustively.
+type Event interface {
+	Kind() Kind
+}
+
+// WhitelistEvent requests a benign-flow install at the switch and a pin
+// release at the datapath.
+type WhitelistEvent struct {
+	Key packet.FlowKey
+	// Origin names the publisher ("detector", "hooks", "topk", ...).
+	Origin string
+}
+
+// Kind implements Event.
+func (WhitelistEvent) Kind() Kind { return KindWhitelist }
+
+// BlacklistEvent requests a drop rule for the source at the switch.
+type BlacklistEvent struct {
+	Addr   packet.Addr
+	Origin string
+}
+
+// Kind implements Event.
+func (BlacklistEvent) Kind() Kind { return KindBlacklist }
+
+// UnpinEvent releases a pinned FlowCache record.
+type UnpinEvent struct {
+	Key    packet.FlowKey
+	Origin string
+}
+
+// Kind implements Event.
+func (UnpinEvent) Kind() Kind { return KindUnpin }
+
+// IntervalEvent marks the close of one monitoring interval. Subscribers
+// run the control-loop heartbeat: the switch closes queries and steers
+// fired subsets, the host drains eviction rings and flushes the flow log.
+type IntervalEvent struct {
+	// Ts is the interval's closing timestamp (virtual ns).
+	Ts int64
+	// Seq counts intervals from 1.
+	Seq uint64
+}
+
+// Kind implements Event.
+func (IntervalEvent) Kind() Kind { return KindInterval }
+
+// ModeSwitchEvent reports a FlowCache shard flipping operating mode
+// (Algorithm 4).
+type ModeSwitchEvent struct {
+	Shard int
+	Mode  flowcache.Mode
+	// Rate is the shard's smoothed arrival rate (pps) at the flip.
+	Rate float64
+	Ts   int64
+}
+
+// Kind implements Event.
+func (ModeSwitchEvent) Kind() Kind { return KindModeSwitch }
+
+// Handler consumes one event.
+type Handler func(Event)
+
+type subscriber struct {
+	name string
+	fn   Handler
+}
+
+// BusStats counts bus traffic.
+type BusStats struct {
+	// Published counts events offered per kind.
+	Published [int(kindCount)]uint64
+	// Delivered counts successful subscriber invocations.
+	Delivered uint64
+	// Panics counts subscriber panics (recovered; see Bus.Publish).
+	Panics uint64
+}
+
+// PublishedFor returns the publish count for one kind.
+func (s BusStats) PublishedFor(k Kind) uint64 {
+	if int(k) >= len(s.Published) {
+		return 0
+	}
+	return s.Published[k]
+}
+
+// Bus is the typed control-plane event bus. Publish is synchronous and
+// ordered: subscribers of the event's kind run immediately, in
+// subscription order, before Publish returns — so the tier pipeline stays
+// deterministic and the bus adds no queue to reason about. A panicking
+// subscriber is isolated: the panic is recovered, counted, and the
+// remaining subscribers still receive the event.
+//
+// Bus is safe for concurrent use; publishes from parallel shard workers
+// serialise on an internal mutex (control events are rare, so the lock is
+// uncontended in practice).
+type Bus struct {
+	mu        sync.Mutex
+	subs      [int(kindCount)][]subscriber
+	stats     BusStats
+	lastPanic string
+}
+
+// NewBus returns an empty bus.
+func NewBus() *Bus { return &Bus{} }
+
+// Subscribe registers fn for events of kind k under a diagnostic name.
+// Subscribers run in subscription order. It panics on an unknown kind or
+// nil handler (programmer errors).
+func (b *Bus) Subscribe(k Kind, name string, fn Handler) {
+	if k >= kindCount {
+		panic(fmt.Sprintf("tier: subscribe to unknown kind %d", k))
+	}
+	if fn == nil {
+		panic("tier: nil handler for " + name)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.subs[k] = append(b.subs[k], subscriber{name: name, fn: fn})
+}
+
+// Publish delivers e to every subscriber of its kind, in subscription
+// order, before returning.
+func (b *Bus) Publish(e Event) {
+	k := e.Kind()
+	if k >= kindCount {
+		panic(fmt.Sprintf("tier: publish of unknown kind %d", k))
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.stats.Published[k]++
+	for _, s := range b.subs[k] {
+		b.deliver(s, e)
+	}
+}
+
+// deliver runs one subscriber with panic isolation.
+func (b *Bus) deliver(s subscriber, e Event) {
+	defer func() {
+		if r := recover(); r != nil {
+			b.stats.Panics++
+			b.lastPanic = fmt.Sprintf("%s: %v", s.name, r)
+		}
+	}()
+	s.fn(e)
+	b.stats.Delivered++
+}
+
+// Stats returns a snapshot of the bus counters.
+func (b *Bus) Stats() BusStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stats
+}
+
+// LastPanic describes the most recent recovered subscriber panic ("" when
+// none occurred).
+func (b *Bus) LastPanic() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.lastPanic
+}
+
+// Subscribers lists the diagnostic names registered for a kind, in
+// delivery order.
+func (b *Bus) Subscribers(k Kind) []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if k >= kindCount {
+		return nil
+	}
+	out := make([]string, len(b.subs[k]))
+	for i, s := range b.subs[k] {
+		out[i] = s.name
+	}
+	return out
+}

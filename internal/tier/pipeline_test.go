@@ -1,0 +1,93 @@
+package tier
+
+import (
+	"testing"
+
+	"smartwatch/internal/packet"
+)
+
+// stubStage records its invocations and applies a fixed verdict.
+type stubStage struct {
+	name    string
+	verdict Verdict
+	calls   int
+}
+
+func (s *stubStage) Name() string { return s.name }
+func (s *stubStage) Handle(ctx *Context) {
+	s.calls++
+	if s.verdict != Continue {
+		ctx.Verdict = s.verdict
+	}
+}
+
+func TestPipelineRunsStagesInOrder(t *testing.T) {
+	a := &stubStage{name: "ingest"}
+	b := &stubStage{name: "steer"}
+	c := &stubStage{name: "datapath"}
+	pl := NewPipeline(a, nil, b, c)
+
+	var ctx Context
+	p := packet.Packet{Size: 64}
+	ctx.Reset(&p)
+	if v := pl.Process(&ctx); v != Continue {
+		t.Fatalf("verdict = %v", v)
+	}
+	if a.calls != 1 || b.calls != 1 || c.calls != 1 {
+		t.Errorf("calls = %d/%d/%d, want 1/1/1", a.calls, b.calls, c.calls)
+	}
+	names := pl.Names()
+	want := []string{"ingest", "steer", "datapath"}
+	if len(names) != len(want) {
+		t.Fatalf("Names = %v (nil stage not skipped?)", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("stage %d = %q, want %q", i, names[i], want[i])
+		}
+	}
+}
+
+func TestPipelineShortCircuitsOnVerdict(t *testing.T) {
+	a := &stubStage{name: "ingest"}
+	b := &stubStage{name: "steer", verdict: DropAtSwitch}
+	c := &stubStage{name: "datapath"}
+	pl := NewPipeline(a, b, c)
+
+	var ctx Context
+	p := packet.Packet{}
+	ctx.Reset(&p)
+	if v := pl.Process(&ctx); v != DropAtSwitch {
+		t.Fatalf("verdict = %v, want DropAtSwitch", v)
+	}
+	if c.calls != 0 {
+		t.Errorf("stage after verdict ran %d times", c.calls)
+	}
+}
+
+func TestContextResetClearsEverything(t *testing.T) {
+	p1 := packet.Packet{Size: 1}
+	p2 := packet.Packet{Size: 2}
+	ctx := Context{}
+	ctx.Reset(&p1)
+	ctx.Verdict = ForwardDirect
+	ctx.ToHost = true
+	ctx.HostDeliveries = 3
+	ctx.Punted = true
+	ctx.Cost.Drop = true
+	ctx.Reset(&p2)
+	if ctx.Pkt != &p2 || ctx.Verdict != Continue || ctx.ToHost || ctx.Punted ||
+		ctx.HostDeliveries != 0 || ctx.Cost.Drop || ctx.Rec != nil {
+		t.Errorf("Reset left residue: %+v", ctx)
+	}
+}
+
+func TestVerdictStrings(t *testing.T) {
+	for v, want := range map[Verdict]string{
+		Continue: "continue", ForwardDirect: "forward-direct", DropAtSwitch: "drop-at-switch",
+	} {
+		if v.String() != want {
+			t.Errorf("%d.String() = %q, want %q", v, v.String(), want)
+		}
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"smartwatch/internal/pcap"
 	"smartwatch/internal/snic"
 	"smartwatch/internal/stats"
+	"smartwatch/internal/tier"
 	"smartwatch/internal/trace"
 )
 
@@ -96,6 +97,41 @@ func DefaultFlowCacheConfig(rowBits int) FlowCacheConfig { return flowcache.Defa
 
 // NewFlowCache builds a standalone FlowCache.
 func NewFlowCache(cfg FlowCacheConfig) *FlowCache { return flowcache.New(cfg) }
+
+// ShardedFlowCache partitions the FlowCache into independent per-island
+// shards (Config.Shards wires one into the platform).
+type ShardedFlowCache = flowcache.Sharded
+
+// FlowCacheControllerConfig tunes the General/Lite switchover (Alg. 4).
+type FlowCacheControllerConfig = flowcache.ControllerConfig
+
+// NewShardedFlowCache builds a standalone sharded FlowCache: shards must
+// be a power of two, and total capacity equals one unsharded cache of the
+// base config.
+func NewShardedFlowCache(shards int, cfg FlowCacheConfig, ctl FlowCacheControllerConfig) *ShardedFlowCache {
+	return flowcache.NewSharded(shards, cfg, ctl)
+}
+
+// Control-plane events --------------------------------------------------------
+
+// EventBus is the typed control-plane bus tying the tiers together;
+// Platform.Bus exposes the platform's own (see internal/tier).
+type EventBus = tier.Bus
+
+// Event is one typed control-plane message.
+type Event = tier.Event
+
+// Control-plane event types.
+type (
+	// WhitelistEvent requests a benign-flow install at the switch.
+	WhitelistEvent = tier.WhitelistEvent
+	// BlacklistEvent requests a source drop rule at the switch.
+	BlacklistEvent = tier.BlacklistEvent
+	// IntervalEvent marks the close of one monitoring interval.
+	IntervalEvent = tier.IntervalEvent
+	// ModeSwitchEvent reports a FlowCache shard flipping mode.
+	ModeSwitchEvent = tier.ModeSwitchEvent
+)
 
 // Switch --------------------------------------------------------------------
 
