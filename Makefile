@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race shards check bench experiments clean
+.PHONY: all build vet test race shards check bench profile experiments clean
 
 all: check
 
@@ -23,12 +23,14 @@ test:
 race:
 	$(GO) test -race -short ./internal/flowcache/ ./internal/snic/ ./internal/core/ ./internal/experiments/ ./internal/packet/
 
-# Shard-determinism gate (DESIGN.md §8.4): the sharded FlowCache, the tier
-# pipeline, and the event bus under the race detector — parallel replay must
-# reproduce sequential state and the tiered platform must match legacy.
+# Shard-determinism gate (DESIGN.md §8.4, §9): the sharded FlowCache, the
+# tier pipeline, the event bus and the batched datapath under the race
+# detector — parallel replay must reproduce sequential state, the tiered
+# platform must match legacy, and every batch size must be byte-identical
+# to the per-packet drive.
 shards:
 	$(GO) vet ./...
-	$(GO) test -race -run 'Shard|Bus|Pipeline|Event|TierPipeline|AtomicCounts' ./internal/flowcache/ ./internal/tier/ ./internal/core/
+	$(GO) test -race -run 'Shard|Bus|Pipeline|Event|TierPipeline|AtomicCounts|Batch' ./internal/flowcache/ ./internal/tier/ ./internal/core/
 
 check: vet build test race
 
@@ -37,9 +39,18 @@ check: vet build test race
 bench:
 	$(GO) run ./cmd/bench -out BENCH_dev.json
 
+# CPU and heap profiles of the micro-benchmark hot paths, for
+# `go tool pprof prof/bench.cpu.pprof`. cmd/experiments takes the same
+# -cpuprofile/-memprofile flags for profiling the evaluation harnesses.
+profile:
+	mkdir -p prof
+	$(GO) run ./cmd/bench -out prof/BENCH_prof.json \
+		-cpuprofile prof/bench.cpu.pprof -memprofile prof/bench.mem.pprof
+
 # Full-scale regeneration of every table/figure (EXPERIMENTS.md sizes).
 experiments:
 	$(GO) run ./cmd/experiments all > experiments_full.txt
 
 clean:
 	rm -f BENCH_dev.json
+	rm -rf prof

@@ -11,9 +11,17 @@
 //   - macro: wall-clock for the full `experiments all` sweep at a small
 //     scale, sequential vs parallel, plus the resulting speedup.
 //
+// A prior snapshot can be diffed against the fresh run with -compare:
+// per-micro ns/op and allocs/op deltas print benchstat-style, and the
+// process exits non-zero when any micro regressed by more than
+// -tolerance (fractional; the CI smoke treats this as report-only — the
+// shared 1-core box is too noisy to gate on).
+//
 // Usage:
 //
 //	bench [-out BENCH_1.json] [-scale 0.01] [-note "..."] [-skip-macro]
+//	      [-compare BENCH_2.json] [-tolerance 0.10]
+//	      [-cpuprofile prof/bench.cpu] [-memprofile prof/bench.mem]
 package main
 
 import (
@@ -22,6 +30,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
+	"sort"
 	"testing"
 	"time"
 
@@ -92,13 +102,88 @@ func toMicro(r testing.BenchmarkResult) Micro {
 	}
 }
 
+// compare prints a benchstat-style delta table between an old snapshot
+// and the fresh one and returns the worst fractional ns/op regression
+// across micros present in both (negative when everything improved).
+func compare(oldPath string, fresh *Snapshot) (float64, error) {
+	raw, err := os.ReadFile(oldPath)
+	if err != nil {
+		return 0, err
+	}
+	var old Snapshot
+	if err := json.Unmarshal(raw, &old); err != nil {
+		return 0, fmt.Errorf("%s: %w", oldPath, err)
+	}
+	names := make([]string, 0, len(fresh.Micro))
+	for name := range fresh.Micro {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Printf("%-36s %14s %14s %9s %14s\n", "name", "old ns/op", "new ns/op", "delta", "allocs/op")
+	worst := -1.0
+	for _, name := range names {
+		n := fresh.Micro[name]
+		o, ok := old.Micro[name]
+		if !ok {
+			fmt.Printf("%-36s %14s %14.1f %9s %7d\n", name, "-", n.NsPerOp, "new", n.AllocsPerOp)
+			continue
+		}
+		delta := (n.NsPerOp - o.NsPerOp) / o.NsPerOp
+		allocs := fmt.Sprintf("%d", n.AllocsPerOp)
+		if n.AllocsPerOp != o.AllocsPerOp {
+			allocs = fmt.Sprintf("%d->%d", o.AllocsPerOp, n.AllocsPerOp)
+		}
+		fmt.Printf("%-36s %14.1f %14.1f %+8.1f%% %14s\n", name, o.NsPerOp, n.NsPerOp, delta*100, allocs)
+		if delta > worst {
+			worst = delta
+		}
+	}
+	for name := range old.Micro {
+		if _, ok := fresh.Micro[name]; !ok {
+			fmt.Printf("%-36s %14.1f %14s %9s\n", name, old.Micro[name].NsPerOp, "-", "gone")
+		}
+	}
+	return worst, nil
+}
+
 func main() {
 	out := flag.String("out", "", "output file (default stdout)")
 	scale := flag.Float64("scale", 0.01, "workload scale for the macro sweep")
 	skipMacro := flag.Bool("skip-macro", false, "skip the experiments wall-clock sweep")
+	comparePath := flag.String("compare", "", "prior BENCH_*.json to diff against (benchstat-style deltas)")
+	tolerance := flag.Float64("tolerance", 0.10, "fractional ns/op regression -compare tolerates before exiting non-zero")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the micro benchmarks to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile (taken at exit) to this file")
 	var notes noteList
 	flag.Var(&notes, "note", "free-form note recorded in the snapshot (repeatable)")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "bench:", err)
+			}
+		}()
+	}
 
 	snap := Snapshot{
 		Generated:  time.Now().UTC().Format(time.RFC3339),
@@ -116,6 +201,26 @@ func main() {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			cache.Process(&pkts[i&(len(pkts)-1)])
+		}
+	}))
+
+	fmt.Fprintln(os.Stderr, "bench: flowcache.ProcessBatch (vectors of 64) ...")
+	cacheBatch := flowcache.New(flowcache.DefaultConfig(10))
+	snap.Micro["flowcache_process_batch64"] = toMicro(testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		// One op is one packet (comparable to flowcache_process); the
+		// cache sees them in vectors of 64.
+		for i := 0; i < b.N; {
+			off := i & (len(pkts) - 1)
+			n := 64
+			if off+n > len(pkts) {
+				n = len(pkts) - off
+			}
+			if i+n > b.N {
+				n = b.N - i
+			}
+			cacheBatch.ProcessBatch(pkts[off : off+n])
+			i += n
 		}
 	}))
 
@@ -176,6 +281,15 @@ func main() {
 		}
 	}))
 
+	fmt.Fprintln(os.Stderr, "bench: sharded flowcache, shards=4 batched fan-out (64k pkts/op) ...")
+	sh4b := flowcache.NewSharded(4, flowcache.DefaultConfig(10), flowcache.ControllerConfig{})
+	snap.Micro["flowcache_sharded4_batch256_64k"] = toMicro(testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sh4b.RunParallelBatches(pkts, 256)
+		}
+	}))
+
 	if !*skipMacro {
 		reg := experiments.Registry()
 		sweep := func(parallel int) float64 {
@@ -208,11 +322,27 @@ func main() {
 	enc = append(enc, '\n')
 	if *out == "" {
 		os.Stdout.Write(enc)
-		return
+	} else {
+		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "bench: wrote %s\n", *out)
 	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "bench:", err)
-		os.Exit(1)
+
+	if *comparePath != "" {
+		worst, err := compare(*comparePath, &snap)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		if worst > *tolerance {
+			fmt.Fprintf(os.Stderr, "bench: worst regression %+.1f%% exceeds tolerance %.1f%%\n",
+				worst*100, *tolerance*100)
+			if *cpuprofile != "" {
+				pprof.StopCPUProfile() // os.Exit skips the deferred stop
+			}
+			os.Exit(2)
+		}
 	}
-	fmt.Fprintf(os.Stderr, "bench: wrote %s\n", *out)
 }

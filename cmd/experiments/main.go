@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"smartwatch/internal/experiments"
@@ -28,6 +29,8 @@ import (
 func main() {
 	scale := flag.Float64("scale", 1.0, "workload scale factor (1 = EXPERIMENTS.md sizes)")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "max concurrently running experiments (1 = sequential)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile (taken at exit) to this file")
 	flag.Usage = func() {
 		ids := make([]string, 0)
 		for _, e := range experiments.Registry() {
@@ -46,6 +49,33 @@ func main() {
 			fmt.Println(e.ID)
 		}
 		return
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+			}
+		}()
 	}
 
 	var exps []experiments.Exp

@@ -33,6 +33,7 @@ func main() {
 		intervalMs = flag.Int("interval", 100, "monitoring interval (virtual ms)")
 		rowBits    = flag.Int("rowbits", 14, "FlowCache rows = 2^rowbits (x12 buckets)")
 		shards     = flag.Int("shards", 1, "FlowCache shards (power of two; capacity is split, not multiplied)")
+		batch      = flag.Int("batch", 1, "ingest batch size (vectors of this many packets; 1 = per-packet drive)")
 		verbose    = flag.Bool("v", false, "print every alert")
 		ipfixOut   = flag.String("ipfix", "", "export the flow log as IPFIX to this file")
 		emitP4     = flag.String("emit-p4", "", "write the switch query set as a P4-16 program to this file (requires -switch)")
@@ -60,6 +61,7 @@ func main() {
 		IntervalNs: int64(*intervalMs) * 1e6,
 		Detectors:  dets,
 		Shards:     *shards,
+		BatchSize:  *batch,
 	}
 	if *rowBits > 0 {
 		cfg.Cache = flowcache.DefaultConfig(*rowBits)

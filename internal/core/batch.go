@@ -1,0 +1,118 @@
+// Batched drive (DESIGN.md §9): Config.BatchSize > 1 drains ingest in
+// vectors, amortising per-packet dispatch without changing a single
+// observable byte. The invariant the whole file is built around:
+// batching may only move work that commutes — counter folds, stat-delta
+// accumulation, hash pre-computation, producer decoupling — and must
+// keep every stateful sequence in per-packet order. Concretely:
+//
+//   - Timer work (detector ticks, interval closes) fires between packets
+//     exactly where the per-packet drive fires it: each vector is split
+//     into sub-batches at the next timer boundary, with the boundary
+//     recomputed after the tick that opens each sub-batch.
+//   - Steering stays per-packet, interleaved with sNIC processing:
+//     detector reactions publish blacklist/whitelist events that rewrite
+//     the switch tables mid-stream, so pre-steering a vector would let a
+//     later packet see a stale table. The pull-based stream composition
+//     already gives the exact interleave; the drive just feeds it.
+//   - The sNIC side stays per-packet too: the DES charges packet i+1's
+//     queueing against packet i's cost, and detectors read live records.
+//
+// What does batch: the ingest tier (one counter fold per vector via
+// tier.BatchStage), flow-identity pre-computation (one canonicalisation
+// + hash per packet, reused by steer-side bookkeeping and the FlowCache),
+// FlowCache stat accounting (plain accumulator, one atomic flush per
+// sub-batch), and the producer handoff (packet.BufferedBatches recycles
+// whole vectors instead of yielding packet by packet).
+package core
+
+import (
+	"smartwatch/internal/packet"
+	"smartwatch/internal/tier"
+)
+
+// batchedFilter is the vectorised twin of Run's per-packet filtered
+// stream: it yields exactly the packets the per-packet drive would yield,
+// in the same order, with identical side effects on the platform.
+func (pl *Platform) batchedFilter(s packet.Stream) packet.Stream {
+	return func(yield func(packet.Packet) bool) {
+		size := pl.cfg.BatchSize
+		ctxStore := make([]tier.Context, size)
+		ctxs := make([]*tier.Context, size)
+		for i := range ctxs {
+			ctxs[i] = &ctxStore[i]
+		}
+		for batch := range packet.BufferedBatches(s, size) {
+			for lo := 0; lo < len(batch); {
+				// Fire timers due at the sub-batch head FIRST, then bound
+				// the sub-batch below the next timer so nothing can fire
+				// inside it — interval flushes and detector ticks observe
+				// exactly the state the per-packet drive would show them.
+				pl.maybeTick(batch[lo].Ts)
+				bound := pl.nextTick
+				if pl.nextInterval < bound {
+					bound = pl.nextInterval
+				}
+				hi := lo + 1
+				for hi < len(batch) && batch[hi].Ts < bound {
+					hi++
+				}
+				sub := batch[lo:hi]
+
+				// Pre-compute the flow identity for the vector (hash work
+				// hoisted out of the stage walk) and ingest it in one call.
+				for j := range sub {
+					c := ctxs[j]
+					c.Reset(&sub[j])
+					c.Key = sub[j].Key()
+					c.Hash = c.Key.Hash()
+					c.HasFlowID = true
+				}
+				if pl.steer == nil {
+					// Wire pipeline is ingest-only: run it as one vector
+					// through the tier batch API.
+					pl.wire.ProcessBatch(ctxs[:len(sub)])
+				} else {
+					pl.ingest.ProcessBatch(ctxs[:len(sub)])
+				}
+
+				// Verdict counters fold once per sub-batch: nothing reads
+				// them until Report, so deferring the atomic adds commutes.
+				var direct, dropped, toSNIC uint64
+				flush := func() {
+					pl.counts.forwardedDirect.Add(direct)
+					pl.counts.droppedAtSwitch.Add(dropped)
+					pl.counts.toSNIC.Add(toSNIC)
+					pl.cache.FlushAcc(&pl.batchAcc)
+				}
+				for j := range sub {
+					c := ctxs[j]
+					if pl.steer != nil {
+						// Steer per-packet: the sNIC processing of the
+						// previous packet (inside the last yield) may have
+						// programmed the switch tables this decision reads.
+						pl.steer.Handle(c)
+						if c.Verdict == tier.ForwardDirect {
+							direct++
+							continue
+						}
+						if c.Verdict == tier.DropAtSwitch {
+							dropped++
+							continue
+						}
+					}
+					toSNIC++
+					pl.pendHash, pl.pendKey, pl.pendValid = c.Hash, c.Key, true
+					if !yield(sub[j]) {
+						flush()
+						return
+					}
+				}
+				// Flush before the next maybeTick: interval observers must
+				// see aggregate stats exactly as the per-packet drive left
+				// them.
+				flush()
+				lo = hi
+			}
+		}
+	}
+}

@@ -64,6 +64,14 @@ type Config struct {
 	// handler instead of the stage pipeline. It exists as a determinism
 	// oracle for tests and will be removed once the pipeline has soaked.
 	LegacyPipeline bool
+	// BatchSize drains ingest in vectors of this many packets (DESIGN.md
+	// §9): the drive pre-computes flow hashes per vector, amortises the
+	// platform counters and FlowCache stat updates across it, and splits
+	// it at every timer boundary so batching never reorders control-plane
+	// work relative to the per-packet drive — reports stay byte-identical.
+	// 0 or 1 keeps the per-packet drive; LegacyPipeline ignores it (the
+	// oracle stays exactly as it was).
+	BatchSize int
 }
 
 // Platform is one assembled SmartWatch instance.
@@ -83,10 +91,26 @@ type Platform struct {
 	flusher   *host.Flusher
 	wire      *tier.Pipeline
 	nic       *tier.Pipeline
+	// ingest / steer are the wire pipeline's stages, kept individually so
+	// the batched drive can vector the ingest while keeping steer
+	// per-packet (steering reads tables that nic-side detector events
+	// rewrite mid-stream; see batch.go).
+	ingest *ingestStage
+	steer  tier.Stage
 	// wireCtx / nicCtx are reused across packets (one driving goroutine
 	// each), keeping the hot path allocation-free.
 	wireCtx tier.Context
 	nicCtx  tier.Context
+
+	// batchAcc absorbs FlowCache stat deltas on the batched drive; pendKey
+	// et al. hand the pre-computed flow identity of the packet just
+	// yielded into the engine across to tierHandler (the engine calls the
+	// handler synchronously inside the pull, at most once per yield, so
+	// the pending identity can never pair with the wrong packet).
+	batchAcc  flowcache.BatchAcc
+	pendHash  uint64
+	pendKey   packet.FlowKey
+	pendValid bool
 
 	nextInterval int64
 	nextTick     int64
@@ -147,6 +171,9 @@ func New(cfg Config) *Platform {
 	}
 	if cfg.TickNs <= 0 {
 		cfg.TickNs = cfg.IntervalNs / 10
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 1
 	}
 	pl := &Platform{cfg: cfg, bus: tier.NewBus()}
 	pl.cache = flowcache.NewSharded(cfg.Shards, cfg.Cache, cfg.Controller)
@@ -213,11 +240,11 @@ func (pl *Platform) wireBus() {
 
 // buildPipelines assembles the wire-side and sNIC-side stage chains.
 func (pl *Platform) buildPipelines() {
-	var steer tier.Stage
+	pl.ingest = &ingestStage{pl}
 	if pl.sw != nil {
-		steer = &p4switch.SteerStage{SW: pl.sw, Tracker: pl.tracker}
+		pl.steer = &p4switch.SteerStage{SW: pl.sw, Tracker: pl.tracker}
 	}
-	pl.wire = tier.NewPipeline(&ingestStage{pl}, steer)
+	pl.wire = tier.NewPipeline(pl.ingest, pl.steer)
 	pl.nic = tier.NewPipeline(&datapathStage{pl}, pl.hostStage)
 }
 
@@ -322,6 +349,20 @@ func (s *ingestStage) Handle(ctx *tier.Context) {
 	s.pl.maybeTick(ctx.Pkt.Ts)
 }
 
+// ProcessBatch implements tier.BatchStage: one atomic add covers the
+// whole vector (the total counter is read by nothing the timers touch,
+// so folding it commutes with tick work), then timers run per packet as
+// Handle would. When the batched drive calls this it has already ticked
+// at the vector's first timestamp and split the vector below the next
+// timer boundary, making the loop all no-ops; standalone callers get
+// per-packet-identical timer behaviour either way.
+func (s *ingestStage) ProcessBatch(ctxs []*tier.Context) {
+	s.pl.counts.total.Add(uint64(len(ctxs)))
+	for _, c := range ctxs {
+		s.pl.maybeTick(c.Pkt.Ts)
+	}
+}
+
 // datapathStage is the sNIC tier: FlowCache update (with per-shard rate
 // observation), detector fan-out, reaction application. Control-plane
 // reactions (whitelist, blacklist) leave as bus events; datapath-local
@@ -333,7 +374,20 @@ func (s *datapathStage) Name() string { return "datapath" }
 func (s *datapathStage) Handle(ctx *tier.Context) {
 	pl := s.pl
 	p := ctx.Pkt
-	rec, res := pl.cache.ObserveProcess(p)
+	var (
+		rec *flowcache.Record
+		res flowcache.Result
+		k   packet.FlowKey
+	)
+	if ctx.HasFlowID {
+		// Batched drive: hash/key were pre-computed for the whole vector
+		// and stat deltas accumulate in batchAcc (flushed per sub-batch).
+		k = ctx.Key
+		rec, res = pl.cache.ObserveProcessHashed(p, ctx.Hash, k, &pl.batchAcc)
+	} else {
+		k = p.Key()
+		rec, res = pl.cache.ObserveProcess(p)
+	}
 	ctx.Rec, ctx.Res = rec, res
 	if rec == nil && res.Outcome == flowcache.HostPunt {
 		// No sNIC record possible: the host takes the packet whole.
@@ -342,7 +396,6 @@ func (s *datapathStage) Handle(ctx *tier.Context) {
 	}
 	r := pl.detectors.OnPacket(p, rec, ctx.SNIC)
 	ctx.Cost = snic.Cost{Reads: res.Reads, Writes: res.Writes, ExtraCycles: r.ExtraCycles}
-	k := p.Key()
 	if r.Pin {
 		pl.cache.Pin(k)
 	}
@@ -369,6 +422,12 @@ func (pl *Platform) tierHandler(p *packet.Packet, sctx snic.Ctx) snic.Cost {
 	ctx := &pl.nicCtx
 	ctx.Reset(p)
 	ctx.SNIC = sctx
+	if pl.pendValid {
+		// The batched drive parked this packet's pre-computed flow
+		// identity just before yielding it into the engine.
+		ctx.Hash, ctx.Key, ctx.HasFlowID = pl.pendHash, pl.pendKey, true
+		pl.pendValid = false
+	}
 	pl.nic.Process(ctx)
 	if ctx.HostDeliveries > 0 {
 		pl.counts.toHost.Add(uint64(ctx.HostDeliveries))
@@ -410,9 +469,12 @@ func (pl *Platform) Run(s packet.Stream) Report {
 	}
 	engine := snic.New(pl.cfg.SNIC, handler)
 	var filtered packet.Stream
-	if pl.cfg.LegacyPipeline {
+	switch {
+	case pl.cfg.LegacyPipeline:
 		filtered = pl.legacyFilter(s)
-	} else {
+	case pl.cfg.BatchSize > 1:
+		filtered = pl.batchedFilter(s)
+	default:
 		filtered = func(yield func(packet.Packet) bool) {
 			ctx := &pl.wireCtx
 			for p := range s {
@@ -433,6 +495,9 @@ func (pl *Platform) Run(s packet.Stream) Report {
 		}
 	}
 	rep := engine.Run(filtered)
+	// The batched drive flushes its accumulator at every sub-batch end;
+	// this covers an engine that stopped pulling mid-vector.
+	pl.cache.FlushAcc(&pl.batchAcc)
 	// Final interval close, then the lossless flow-log flush: every record
 	// still resident in the FlowCache is exported exactly once, so evicted
 	// epochs plus the final snapshot account for every processed packet.

@@ -152,14 +152,41 @@ func (r *row) release() { r.latch.Store(0) }
 // State through the pointer is safe only for single-goroutine drivers (the
 // DES); concurrent users go through UpdateState.
 func (c *Cache) Process(p *packet.Packet) (*Record, Result) {
-	hash := p.Hash()
 	key := p.Key()
-	rw := &c.rows[c.rowIndex(hash)]
-	sh := c.stats.shard(hash)
+	hash := key.Hash() // == p.Hash(); canonicalise once
 	res := Result{}
+	rec := c.processHashed(p, hash, key, &res)
+	c.applyStats(hash, &res)
+	return rec, res
+}
 
+// ProcessHashedAcc is Process with the hash/key computed by the caller
+// (the batch paths pre-hash whole vectors) and the stat-counter updates
+// deferred into acc instead of hitting the atomic shards per packet. The
+// caller owns acc and must eventually fold it back with Cache.FlushAcc —
+// until then Stats() under-reports, so flush before any observer reads.
+func (c *Cache) ProcessHashedAcc(p *packet.Packet, hash uint64, key packet.FlowKey, acc *BatchAcc) (*Record, Result) {
+	res := Result{}
+	rec := c.processHashed(p, hash, key, &res)
+	acc.add(&res)
+	return rec, res
+}
+
+// ProcessAcc is ProcessHashedAcc with the hash/key computed here — the
+// per-packet entry point for drivers that batch only the stat flush.
+func (c *Cache) ProcessAcc(p *packet.Packet, acc *BatchAcc) (*Record, Result) {
+	key := p.Key()
+	return c.ProcessHashedAcc(p, key.Hash(), key, acc)
+}
+
+// processHashed is the Fig.-4a update proper: everything Process does
+// except stat-counter accounting, which the caller derives from the
+// Result (applyStats or BatchAcc.add). The only counters it touches
+// directly are the eviction/ring pair inside pushRing — those depend on
+// ring occupancy at push time and cannot be reconstructed afterwards.
+func (c *Cache) processHashed(p *packet.Packet, hash uint64, key packet.FlowKey, res *Result) *Record {
+	rw := &c.rows[c.rowIndex(hash)]
 	rw.acquire()
-	defer rw.release()
 
 	// The mode is read under the row latch: concurrent Process calls on
 	// one row are serialized, so the second caller sees both the first
@@ -168,11 +195,9 @@ func (c *Cache) Process(p *packet.Packet) (*Record, Result) {
 	mode := c.Mode()
 
 	if mode == Lite && rw.dirty {
-		evicted := c.cleanRow(rw)
+		res.CleanupEvicted = c.cleanRow(rw)
 		rw.dirty = false
 		res.RowCleaned = true
-		sh.rowCleanups.Add(1)
-		sh.cleanupEvictions.Add(uint64(evicted))
 	}
 
 	lo, hi := 0, c.cfg.Buckets
@@ -184,36 +209,58 @@ func (c *Cache) Process(p *packet.Packet) (*Record, Result) {
 		pEnd = hi // single buffer: the whole slice is "P"
 	}
 
-	if rec, idx := c.probe(rw, hash, key, lo, hi, &res); rec != nil {
+	if rec, idx := c.probe(rw, hash, key, lo, hi, res); rec != nil {
 		if idx < pEnd {
 			rec.update(p)
 			res.Outcome = PHit
 			res.Writes++
-			sh.pHits.Add(1)
-			sh.finish(&res)
-			return rec, res
+			rw.release()
+			return rec
 		}
 		// E hit: swap with P's victim, then update.
-		rec = c.promote(rw, idx, lo, pEnd, &res)
+		rec = c.promote(rw, idx, lo, pEnd, res)
 		rec.update(p)
 		res.Outcome = EHit
 		res.Writes++
-		sh.eHits.Add(1)
-		sh.finish(&res)
-		return rec, res
+		rw.release()
+		return rec
 	}
 
-	rec := c.insert(rw, hash, key, p, lo, pEnd, hi, &res)
+	rec := c.insert(rw, hash, key, p, lo, pEnd, hi, res)
 	if rec == nil {
 		res.Outcome = HostPunt
-		sh.hostPunts.Add(1)
-		sh.finish(&res)
-		return nil, res
+		rw.release()
+		return nil
 	}
 	res.Outcome = Miss
-	sh.misses.Add(1)
-	sh.finish(&res)
-	return rec, res
+	rw.release()
+	return rec
+}
+
+// applyStats folds one Result into the atomic counter shards — the
+// per-packet accounting twin of BatchAcc.add. Every counter is derived
+// from the Result: inserts ⇔ Miss (each miss creates exactly one record)
+// and pinDenied ⇔ HostPunt (each punt is exactly one refused insert), so
+// the atomic-op count per call matches the pre-refactor inline updates.
+func (c *Cache) applyStats(hash uint64, res *Result) {
+	sh := c.stats.shard(hash)
+	switch res.Outcome {
+	case PHit:
+		sh.pHits.Add(1)
+	case EHit:
+		sh.eHits.Add(1)
+	case Miss:
+		sh.misses.Add(1)
+		sh.inserts.Add(1)
+	case HostPunt:
+		sh.hostPunts.Add(1)
+		sh.pinDenied.Add(1)
+	}
+	if res.RowCleaned {
+		sh.rowCleanups.Add(1)
+		sh.cleanupEvictions.Add(uint64(res.CleanupEvicted))
+	}
+	sh.finish(res)
 }
 
 // probe scans candidate buckets for the key, counting reads.
@@ -305,11 +352,10 @@ func (c *Cache) insert(rw *row, hash uint64, key packet.FlowKey, p *packet.Packe
 				c.evictOccupied(rw, eIdx, res)
 				rw.buckets[eIdx] = newRec
 				res.Writes++
-				c.stats.shard(hash).inserts.Add(1)
 				return &rw.buckets[eIdx]
 			}
 		}
-		c.stats.shard(hash).pinDenied.Add(1)
+		// Caller counts pinDenied from the HostPunt outcome.
 		return nil
 	}
 
@@ -333,7 +379,6 @@ func (c *Cache) insert(rw *row, hash uint64, key packet.FlowKey, p *packet.Packe
 	}
 	rw.buckets[pIdx] = newRec
 	res.Writes++
-	c.stats.shard(hash).inserts.Add(1)
 	return &rw.buckets[pIdx]
 }
 

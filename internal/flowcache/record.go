@@ -109,4 +109,10 @@ type Result struct {
 	Evicted bool
 	// RowCleaned is set when this call performed a lazy Alg.-3 cleanup.
 	RowCleaned bool
+	// CleanupEvicted is the number of records evicted by that cleanup
+	// (meaningful only when RowCleaned is set). Carried in the Result so
+	// stat accounting can be derived from it after the latch is released —
+	// the batch path's accumulator depends on every counter except the
+	// ring-occupancy pair being derivable from the Result alone.
+	CleanupEvicted int
 }

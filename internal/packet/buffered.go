@@ -1,32 +1,34 @@
 package packet
 
+import "iter"
+
 // bufferedDepth is the number of in-flight batches a Buffered stream
 // cycles through: one being filled by the producer, one being drained by
 // the consumer, and two queued so neither side stalls on a momentary
 // speed mismatch.
 const bufferedDepth = 4
 
-// Buffered decouples a Stream's producer from its consumer: the source
-// runs on its own goroutine (trace synthesis, pcap decoding) while the
-// caller's loop (typically the sNIC simulator) drains it, so generation
-// and replay overlap on multi-core machines.
+// BufferedBatches is the vector form of Buffered: the source runs on its
+// own goroutine and its packets arrive at the consumer as reused
+// fixed-size slices — the feeder of the platform's batched datapath
+// (Config.BatchSize). Ordering is preserved exactly: concatenating the
+// yielded slices reproduces s packet for packet, so batching changes when
+// packets are handed over, never which or in what order.
 //
-// Packets cross the goroutine boundary in reused fixed-size batches, so
-// the steady state performs zero per-packet channel operations and zero
-// allocations: batch slices are allocated once up front and recycled
-// through a free list. Ordering is preserved exactly — Buffered(s, n)
-// yields the same packets in the same order as s, making it safe for the
-// deterministic experiment pipeline.
+// The yielded slice is only valid until the consumer's loop body returns:
+// batches are recycled through a free list (zero steady-state
+// allocations), so consumers must copy any packet they need to retain.
+// Every yielded slice is non-empty; all but the last hold exactly batch
+// packets (values below 1 select a default of 256).
 //
-// batch is the packets-per-handoff granularity (values below 1 select a
-// default of 256). The producer goroutine always terminates: if the
-// consumer stops early, a stop signal unblocks the producer's next
-// handoff and the source iterator is abandoned.
-func Buffered(s Stream, batch int) Stream {
+// The producer goroutine always terminates: if the consumer stops early,
+// a stop signal unblocks the producer's next handoff and the source
+// iterator is abandoned.
+func BufferedBatches(s Stream, batch int) iter.Seq[[]Packet] {
 	if batch < 1 {
 		batch = 256
 	}
-	return func(yield func(Packet) bool) {
+	return func(yield func([]Packet) bool) {
 		full := make(chan []Packet, bufferedDepth)
 		free := make(chan []Packet, bufferedDepth)
 		stop := make(chan struct{})
@@ -66,16 +68,11 @@ func Buffered(s Stream, batch int) Stream {
 
 		stopped := false
 		for b := range full {
-			if !stopped {
-				for i := range b {
-					if !yield(b[i]) {
-						// Unblock the producer, then keep draining full so
-						// its close is observed and no batch send can hang.
-						stopped = true
-						close(stop)
-						break
-					}
-				}
+			if !stopped && !yield(b) {
+				// Unblock the producer, then keep draining full so its
+				// close is observed and no batch send can hang.
+				stopped = true
+				close(stop)
 			}
 			select {
 			case free <- b[:0]:
@@ -84,6 +81,33 @@ func Buffered(s Stream, batch int) Stream {
 		}
 		if !stopped {
 			close(stop)
+		}
+	}
+}
+
+// Buffered decouples a Stream's producer from its consumer: the source
+// runs on its own goroutine (trace synthesis, pcap decoding) while the
+// caller's loop (typically the sNIC simulator) drains it, so generation
+// and replay overlap on multi-core machines.
+//
+// Packets cross the goroutine boundary in reused fixed-size batches (see
+// BufferedBatches, which this flattens), so the steady state performs
+// zero per-packet channel operations and zero allocations. Ordering is
+// preserved exactly — Buffered(s, n) yields the same packets in the same
+// order as s, making it safe for the deterministic experiment pipeline.
+//
+// batch is the packets-per-handoff granularity (values below 1 select a
+// default of 256).
+func Buffered(s Stream, batch int) Stream {
+	return func(yield func(Packet) bool) {
+		for b := range BufferedBatches(s, batch) {
+			for i := range b {
+				if !yield(b[i]) {
+					// Returning false into BufferedBatches' yield stops the
+					// producer and drains the remaining handoffs.
+					return
+				}
+			}
 		}
 	}
 }

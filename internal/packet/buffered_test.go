@@ -70,6 +70,78 @@ func TestBufferedEarlyStop(t *testing.T) {
 	t.Errorf("goroutines grew from %d to %d: producer leak", before, runtime.NumGoroutine())
 }
 
+// TestBufferedBatchesShape checks the vector contract: every yielded
+// batch is non-empty, all but the last are exactly batch long, the odd
+// tail carries the remainder, and concatenation reproduces the source.
+func TestBufferedBatchesShape(t *testing.T) {
+	for _, tc := range []struct{ n, batch int }{
+		{1000, 64},  // odd tail: 1000 = 15*64 + 40
+		{1000, 7},   // odd tail: 1000 = 142*7 + 6
+		{512, 256},  // exact multiple, no tail
+		{5, 256},    // single short batch
+		{1000, 1},   // degenerate batch size
+		{100, 0},    // default batch (256) larger than stream
+	} {
+		var got []Packet
+		batches := 0
+		last := -1
+		want := tc.batch
+		if want < 1 {
+			want = 256
+		}
+		for b := range BufferedBatches(seqStream(tc.n), tc.batch) {
+			if len(b) == 0 {
+				t.Fatalf("n=%d batch=%d: empty batch yielded", tc.n, tc.batch)
+			}
+			if last >= 0 && last != want {
+				t.Fatalf("n=%d batch=%d: non-final batch of %d packets, want %d", tc.n, tc.batch, last, want)
+			}
+			last = len(b)
+			batches++
+			got = append(got, b...) // copy out: b is recycled after yield
+		}
+		if len(got) != tc.n {
+			t.Fatalf("n=%d batch=%d: got %d packets", tc.n, tc.batch, len(got))
+		}
+		wantBatches := (tc.n + want - 1) / want
+		if batches != wantBatches {
+			t.Fatalf("n=%d batch=%d: %d batches, want %d", tc.n, tc.batch, batches, wantBatches)
+		}
+		for i, p := range got {
+			if p.Ts != int64(i) {
+				t.Fatalf("n=%d batch=%d: packet %d has Ts %d (reordered)", tc.n, tc.batch, i, p.Ts)
+			}
+		}
+	}
+}
+
+// TestBufferedBatchesEarlyStop ensures breaking out of the batch loop
+// stops the producer without stranding its goroutine.
+func TestBufferedBatchesEarlyStop(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for trial := 0; trial < 50; trial++ {
+		n := 0
+		for b := range BufferedBatches(seqStream(100_000), 64) {
+			n += len(b)
+			if n >= 128 {
+				break
+			}
+		}
+		if n != 128 {
+			t.Fatalf("consumed %d packets, want 128", n)
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines grew from %d to %d: producer leak", before, runtime.NumGoroutine())
+}
+
 // TestBufferedInfiniteSourceEarlyStop exercises the Limit-style pattern
 // against a source that never ends on its own.
 func TestBufferedInfiniteSourceEarlyStop(t *testing.T) {

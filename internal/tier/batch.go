@@ -1,0 +1,55 @@
+package tier
+
+// BatchStage is a Stage that can process a vector of contexts in one
+// call, amortising per-packet dispatch. ProcessBatch(ctxs) must be
+// observably equivalent to calling Handle on each context in slice
+// order; the pipeline guarantees every context in the vector still has
+// Verdict == Continue on entry.
+type BatchStage interface {
+	Stage
+	// ProcessBatch handles every context in the vector, in order.
+	ProcessBatch(ctxs []*Context)
+}
+
+// ProcessBatch runs a vector of contexts through the pipeline
+// stage-major: stage 0 sees the whole vector, then stage 1 sees the
+// survivors, and so on. Stages implementing BatchStage get the vector in
+// one call; plain Stages fall back to a per-packet Handle loop, so
+// existing stages work unchanged. Contexts whose verdict leaves Continue
+// are compacted out between stages (order preserved) exactly as Process
+// stops at the first non-Continue verdict.
+//
+// Stage-major order means stage S+1 sees packet 0 only after stage S has
+// seen the whole vector. That reorders work across packets, so callers
+// must only batch vectors for which the stages carry no cross-packet
+// feedback (the platform's batched drive splits its vectors at every
+// control-feedback boundary; see core's batched drive and DESIGN.md §9).
+//
+// The survivor scratch slice is owned by the pipeline, making
+// ProcessBatch single-goroutine like the reused Contexts themselves.
+func (pl *Pipeline) ProcessBatch(ctxs []*Context) {
+	if cap(pl.scratch) < len(ctxs) {
+		pl.scratch = make([]*Context, 0, len(ctxs))
+	}
+	live := append(pl.scratch[:0], ctxs...)
+	for _, s := range pl.stages {
+		if len(live) == 0 {
+			break
+		}
+		if bs, ok := s.(BatchStage); ok {
+			bs.ProcessBatch(live)
+		} else {
+			for _, c := range live {
+				s.Handle(c)
+			}
+		}
+		w := 0
+		for _, c := range live {
+			if c.Verdict == Continue {
+				live[w] = c
+				w++
+			}
+		}
+		live = live[:w]
+	}
+}

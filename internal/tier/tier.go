@@ -74,6 +74,14 @@ type Context struct {
 	HostDeliveries int
 	// Cost is the sNIC cost the datapath reports to the simulator.
 	Cost snic.Cost
+
+	// Hash and Key are the packet's flow hash and canonical key when
+	// HasFlowID is set — pre-computed by a batching driver so stages need
+	// not re-canonicalise the tuple. Stages must treat them as read-only
+	// and fall back to Pkt.Hash()/Pkt.Key() when HasFlowID is false.
+	Hash      uint64
+	Key       packet.FlowKey
+	HasFlowID bool
 }
 
 // Reset prepares the context for a new packet, clearing every per-packet
@@ -93,6 +101,8 @@ type Stage interface {
 // Pipeline is an ordered list of stages sharing a Context per packet.
 type Pipeline struct {
 	stages []Stage
+	// scratch is ProcessBatch's survivor vector, reused across batches.
+	scratch []*Context
 }
 
 // NewPipeline builds a pipeline; nil stages are skipped.
