@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race shards check bench profile experiments clean
+.PHONY: all build vet test race shards check bench profile experiments metrics-smoke clean
 
 all: check
 
@@ -50,6 +50,17 @@ profile:
 # Full-scale regeneration of every table/figure (EXPERIMENTS.md sizes).
 experiments:
 	$(GO) run ./cmd/experiments all > experiments_full.txt
+
+# Observability smoke (DESIGN.md §10): replay a small generated trace with
+# -metrics -, then validate the JSON-lines snapshot stream end-to-end —
+# parses, virtual time and counters monotonic, key series non-zero.
+SMOKE_PCAP ?= /tmp/smartwatch-metrics-smoke.pcap
+metrics-smoke:
+	$(GO) run ./cmd/tracegen -out $(SMOKE_PCAP) -preset caida2018 -attack ssh-bruteforce -duration 200ms
+	$(GO) run ./cmd/smartwatch -in $(SMOKE_PCAP) -switch -metrics - | \
+		$(GO) run ./cmd/metricscheck -min-snapshots 2 \
+			-require packets.total,flowcache.occupancy,snic.processed,host.flush.count
+	rm -f $(SMOKE_PCAP)
 
 clean:
 	rm -f BENCH_dev.json

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+)
+
+// compareSnapshots prints a benchstat-style delta table between an old
+// snapshot and a fresh one and returns the worst fractional ns/op
+// regression across micros with a usable baseline, plus how many such
+// pairs were compared. With zero comparable pairs (disjoint snapshots)
+// worst is 0 and the caller must not gate on it.
+//
+// Edge cases are explicit, never arithmetic: a micro only in the fresh
+// snapshot prints a "new" marker, one only in the old snapshot prints
+// "vanished" (sorted, so output is stable), and a zero/negative or
+// non-finite baseline prints "n/a" instead of dividing into NaN/Inf.
+// The returned worst is always finite.
+func compareSnapshots(w io.Writer, old, fresh *Snapshot) (worst float64, compared int) {
+	names := make([]string, 0, len(fresh.Micro))
+	for name := range fresh.Micro {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "%-36s %14s %14s %9s %14s\n", "name", "old ns/op", "new ns/op", "delta", "allocs/op")
+	for _, name := range names {
+		n := fresh.Micro[name]
+		o, ok := old.Micro[name]
+		if !ok {
+			fmt.Fprintf(w, "%-36s %14s %14s %9s %14d\n", name, "-", fmtNs(n.NsPerOp), "new", n.AllocsPerOp)
+			continue
+		}
+		allocs := fmt.Sprintf("%d", n.AllocsPerOp)
+		if n.AllocsPerOp != o.AllocsPerOp {
+			allocs = fmt.Sprintf("%d->%d", o.AllocsPerOp, n.AllocsPerOp)
+		}
+		if !usableBaseline(o.NsPerOp, n.NsPerOp) {
+			fmt.Fprintf(w, "%-36s %14s %14s %9s %14s\n", name, fmtNs(o.NsPerOp), fmtNs(n.NsPerOp), "n/a", allocs)
+			continue
+		}
+		delta := (n.NsPerOp - o.NsPerOp) / o.NsPerOp
+		fmt.Fprintf(w, "%-36s %14s %14s %+8.1f%% %14s\n", name, fmtNs(o.NsPerOp), fmtNs(n.NsPerOp), delta*100, allocs)
+		if compared == 0 || delta > worst {
+			worst = delta
+		}
+		compared++
+	}
+	vanished := make([]string, 0)
+	for name := range old.Micro {
+		if _, ok := fresh.Micro[name]; !ok {
+			vanished = append(vanished, name)
+		}
+	}
+	sort.Strings(vanished)
+	for _, name := range vanished {
+		fmt.Fprintf(w, "%-36s %14s %14s %9s\n", name, fmtNs(old.Micro[name].NsPerOp), "-", "vanished")
+	}
+	return worst, compared
+}
+
+// usableBaseline reports whether a delta between the two ns/op values is
+// meaningful: both finite, baseline strictly positive.
+func usableBaseline(old, fresh float64) bool {
+	return old > 0 && !math.IsInf(old, 0) && !math.IsNaN(fresh) && !math.IsInf(fresh, 0)
+}
+
+// fmtNs renders a ns/op value, masking non-finite garbage from corrupt
+// snapshots so the table itself never shows NaN/Inf.
+func fmtNs(v float64) string {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return "?"
+	}
+	return fmt.Sprintf("%.1f", v)
+}
+
+// compare loads a prior snapshot from disk and diffs it against fresh.
+func compare(oldPath string, fresh *Snapshot) (worst float64, compared int, err error) {
+	raw, err := os.ReadFile(oldPath)
+	if err != nil {
+		return 0, 0, err
+	}
+	var old Snapshot
+	if err := json.Unmarshal(raw, &old); err != nil {
+		return 0, 0, fmt.Errorf("%s: %w", oldPath, err)
+	}
+	worst, compared = compareSnapshots(os.Stdout, &old, fresh)
+	return worst, compared, nil
+}

@@ -1,0 +1,132 @@
+package main
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func snap(micros map[string]Micro) *Snapshot {
+	return &Snapshot{Micro: micros}
+}
+
+func TestCompareSnapshots(t *testing.T) {
+	for _, tc := range []struct {
+		name         string
+		old, fresh   map[string]Micro
+		wantWorst    float64
+		wantCompared int
+		wantContains []string
+		wantAbsent   []string
+	}{
+		{
+			name:         "regression and improvement",
+			old:          map[string]Micro{"a": {NsPerOp: 100}, "b": {NsPerOp: 200}},
+			fresh:        map[string]Micro{"a": {NsPerOp: 150}, "b": {NsPerOp: 100}},
+			wantWorst:    0.5,
+			wantCompared: 2,
+			wantContains: []string{"+50.0%", "-50.0%"},
+		},
+		{
+			name:         "all improved yields negative worst",
+			old:          map[string]Micro{"a": {NsPerOp: 100}},
+			fresh:        map[string]Micro{"a": {NsPerOp: 80}},
+			wantWorst:    -0.2,
+			wantCompared: 1,
+		},
+		{
+			name:         "disjoint sets gate on nothing",
+			old:          map[string]Micro{"legacy": {NsPerOp: 100}},
+			fresh:        map[string]Micro{"modern": {NsPerOp: 900}},
+			wantWorst:    0,
+			wantCompared: 0,
+			wantContains: []string{"new", "vanished", "legacy", "modern"},
+		},
+		{
+			name:         "zero baseline is n/a not Inf",
+			old:          map[string]Micro{"a": {NsPerOp: 0}, "b": {NsPerOp: 100}},
+			fresh:        map[string]Micro{"a": {NsPerOp: 50}, "b": {NsPerOp: 101}},
+			wantWorst:    0.01,
+			wantCompared: 1,
+			wantContains: []string{"n/a"},
+		},
+		{
+			name:         "all baselines zero",
+			old:          map[string]Micro{"a": {NsPerOp: 0}},
+			fresh:        map[string]Micro{"a": {NsPerOp: 50}},
+			wantWorst:    0,
+			wantCompared: 0,
+			wantContains: []string{"n/a"},
+		},
+		{
+			name:         "non-finite values never propagate",
+			old:          map[string]Micro{"a": {NsPerOp: math.Inf(1)}, "b": {NsPerOp: math.NaN()}, "c": {NsPerOp: 10}},
+			fresh:        map[string]Micro{"a": {NsPerOp: 5}, "b": {NsPerOp: 5}, "c": {NsPerOp: math.Inf(1)}},
+			wantWorst:    0,
+			wantCompared: 0,
+		},
+		{
+			name:         "empty old snapshot",
+			old:          map[string]Micro{},
+			fresh:        map[string]Micro{"a": {NsPerOp: 10}},
+			wantWorst:    0,
+			wantCompared: 0,
+			wantContains: []string{"new"},
+		},
+		{
+			name:         "empty fresh snapshot",
+			old:          map[string]Micro{"a": {NsPerOp: 10}},
+			fresh:        map[string]Micro{},
+			wantWorst:    0,
+			wantCompared: 0,
+			wantContains: []string{"vanished"},
+		},
+		{
+			name:         "alloc change annotated",
+			old:          map[string]Micro{"a": {NsPerOp: 100, AllocsPerOp: 2}},
+			fresh:        map[string]Micro{"a": {NsPerOp: 100, AllocsPerOp: 0}},
+			wantWorst:    0,
+			wantCompared: 1,
+			wantContains: []string{"2->0"},
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			worst, compared := compareSnapshots(&buf, snap(tc.old), snap(tc.fresh))
+			if math.IsNaN(worst) || math.IsInf(worst, 0) {
+				t.Fatalf("worst is not finite: %v", worst)
+			}
+			if math.Abs(worst-tc.wantWorst) > 1e-9 {
+				t.Errorf("worst = %v, want %v", worst, tc.wantWorst)
+			}
+			if compared != tc.wantCompared {
+				t.Errorf("compared = %d, want %d", compared, tc.wantCompared)
+			}
+			out := buf.String()
+			for _, want := range tc.wantContains {
+				if !strings.Contains(out, want) {
+					t.Errorf("output missing %q:\n%s", want, out)
+				}
+			}
+			for _, bad := range append(tc.wantAbsent, "NaN", "Inf") {
+				if strings.Contains(out, bad) {
+					t.Errorf("output contains forbidden %q:\n%s", bad, out)
+				}
+			}
+		})
+	}
+}
+
+// TestCompareVanishedSorted: the vanished block must print in sorted
+// order, not map-iteration order.
+func TestCompareVanishedSorted(t *testing.T) {
+	old := map[string]Micro{"zeta": {NsPerOp: 1}, "alpha": {NsPerOp: 2}, "mid": {NsPerOp: 3}}
+	var buf bytes.Buffer
+	compareSnapshots(&buf, snap(old), snap(nil))
+	out := buf.String()
+	za, aa, ma := strings.Index(out, "zeta"), strings.Index(out, "alpha"), strings.Index(out, "mid")
+	if aa < 0 || ma < 0 || za < 0 || !(aa < ma && ma < za) {
+		t.Errorf("vanished rows not sorted (alpha@%d mid@%d zeta@%d):\n%s", aa, ma, za, out)
+	}
+}

@@ -31,7 +31,6 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
-	"sort"
 	"testing"
 	"time"
 
@@ -100,50 +99,6 @@ func toMicro(r testing.BenchmarkResult) Micro {
 		BytesPerOp:  r.AllocedBytesPerOp(),
 		N:           r.N,
 	}
-}
-
-// compare prints a benchstat-style delta table between an old snapshot
-// and the fresh one and returns the worst fractional ns/op regression
-// across micros present in both (negative when everything improved).
-func compare(oldPath string, fresh *Snapshot) (float64, error) {
-	raw, err := os.ReadFile(oldPath)
-	if err != nil {
-		return 0, err
-	}
-	var old Snapshot
-	if err := json.Unmarshal(raw, &old); err != nil {
-		return 0, fmt.Errorf("%s: %w", oldPath, err)
-	}
-	names := make([]string, 0, len(fresh.Micro))
-	for name := range fresh.Micro {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	fmt.Printf("%-36s %14s %14s %9s %14s\n", "name", "old ns/op", "new ns/op", "delta", "allocs/op")
-	worst := -1.0
-	for _, name := range names {
-		n := fresh.Micro[name]
-		o, ok := old.Micro[name]
-		if !ok {
-			fmt.Printf("%-36s %14s %14.1f %9s %7d\n", name, "-", n.NsPerOp, "new", n.AllocsPerOp)
-			continue
-		}
-		delta := (n.NsPerOp - o.NsPerOp) / o.NsPerOp
-		allocs := fmt.Sprintf("%d", n.AllocsPerOp)
-		if n.AllocsPerOp != o.AllocsPerOp {
-			allocs = fmt.Sprintf("%d->%d", o.AllocsPerOp, n.AllocsPerOp)
-		}
-		fmt.Printf("%-36s %14.1f %14.1f %+8.1f%% %14s\n", name, o.NsPerOp, n.NsPerOp, delta*100, allocs)
-		if delta > worst {
-			worst = delta
-		}
-	}
-	for name := range old.Micro {
-		if _, ok := fresh.Micro[name]; !ok {
-			fmt.Printf("%-36s %14.1f %14s %9s\n", name, old.Micro[name].NsPerOp, "-", "gone")
-		}
-	}
-	return worst, nil
 }
 
 func main() {
@@ -331,12 +286,15 @@ func main() {
 	}
 
 	if *comparePath != "" {
-		worst, err := compare(*comparePath, &snap)
+		worst, compared, err := compare(*comparePath, &snap)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "bench:", err)
 			os.Exit(1)
 		}
-		if worst > *tolerance {
+		if compared == 0 {
+			fmt.Fprintln(os.Stderr, "bench: no comparable micros between snapshots; nothing to gate on")
+		}
+		if compared > 0 && worst > *tolerance {
 			fmt.Fprintf(os.Stderr, "bench: worst regression %+.1f%% exceeds tolerance %.1f%%\n",
 				worst*100, *tolerance*100)
 			if *cpuprofile != "" {

@@ -1,0 +1,139 @@
+// Command metricscheck validates a JSON-lines metrics stream produced by
+// `smartwatch -metrics` (the internal/obs snapshot format). It is the CI
+// smoke gate for the observability layer: it proves snapshots parse, that
+// virtual time and counters are monotonic across intervals, and that the
+// series an operator would alert on actually carry data.
+//
+// Input is read from stdin or a file argument. Lines that do not start
+// with '{' are skipped, so `smartwatch -metrics - | metricscheck` works
+// even though the final report shares stdout with the snapshot stream.
+//
+// Usage:
+//
+//	smartwatch -in mix.pcap -switch -metrics - | metricscheck \
+//	    -require packets.total,flowcache.occupancy,snic.processed
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"smartwatch/internal/obs"
+)
+
+func main() {
+	require := flag.String("require", "packets.total",
+		"comma-separated series that must be non-zero in the final snapshot")
+	minSnapshots := flag.Int("min-snapshots", 1, "minimum number of snapshot lines expected")
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	name := "stdin"
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in, name = f, flag.Arg(0)
+	}
+
+	snaps, skipped, err := parseStream(in)
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", name, err))
+	}
+	if len(snaps) < *minSnapshots {
+		fatal(fmt.Errorf("%s: %d snapshot lines, want >= %d", name, len(snaps), *minSnapshots))
+	}
+	if err := checkMonotonic(snaps); err != nil {
+		fatal(fmt.Errorf("%s: %w", name, err))
+	}
+	final := snaps[len(snaps)-1]
+	for _, series := range strings.Split(*require, ",") {
+		series = strings.TrimSpace(series)
+		if series == "" {
+			continue
+		}
+		if err := checkNonZero(final, series); err != nil {
+			fatal(fmt.Errorf("%s: final snapshot: %w", name, err))
+		}
+	}
+	fmt.Fprintf(os.Stderr, "metricscheck: ok — %d snapshots, %d series, %d non-snapshot lines skipped\n",
+		len(snaps), len(final.Counters)+len(final.Gauges)+len(final.Histograms), skipped)
+}
+
+// parseStream decodes every snapshot line, counting skipped non-JSON
+// lines. A line that looks like JSON but fails to decode is an error.
+func parseStream(in io.Reader) (snaps []*obs.Snapshot, skipped int, err error) {
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "{") {
+			if line != "" {
+				skipped++
+			}
+			continue
+		}
+		s, err := obs.DecodeSnapshot([]byte(line))
+		if err != nil {
+			return nil, 0, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		snaps = append(snaps, s)
+	}
+	return snaps, skipped, sc.Err()
+}
+
+// checkMonotonic enforces the snapshot-stream invariants: virtual time
+// strictly increases, and every counter is non-decreasing (counters are
+// cumulative; a decrease means double-registration or a reset bug).
+func checkMonotonic(snaps []*obs.Snapshot) error {
+	for i := 1; i < len(snaps); i++ {
+		prev, cur := snaps[i-1], snaps[i]
+		if cur.TsNs <= prev.TsNs {
+			return fmt.Errorf("snapshot %d: ts_ns %d <= previous %d", i, cur.TsNs, prev.TsNs)
+		}
+		for name, v := range prev.Counters {
+			if nv, ok := cur.Counters[name]; ok && nv < v {
+				return fmt.Errorf("snapshot %d: counter %s decreased %d -> %d", i, name, v, nv)
+			}
+		}
+	}
+	return nil
+}
+
+// checkNonZero asserts the named series exists and carries a non-zero
+// value in the snapshot (counter, gauge, or histogram count).
+func checkNonZero(s *obs.Snapshot, series string) error {
+	if v, ok := s.Counters[series]; ok {
+		if v == 0 {
+			return fmt.Errorf("counter %s is zero", series)
+		}
+		return nil
+	}
+	if v, ok := s.Gauges[series]; ok {
+		if v == 0 {
+			return fmt.Errorf("gauge %s is zero", series)
+		}
+		return nil
+	}
+	if h, ok := s.Histograms[series]; ok {
+		if h.Count == 0 {
+			return fmt.Errorf("histogram %s is empty", series)
+		}
+		return nil
+	}
+	return fmt.Errorf("series %s absent (have %d counters, %d gauges, %d histograms)",
+		series, len(s.Counters), len(s.Gauges), len(s.Histograms))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "metricscheck:", err)
+	os.Exit(1)
+}

@@ -10,15 +10,22 @@
 package main
 
 import (
+	"encoding/json"
+	"expvar"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
+	"os/signal"
 	"strings"
 
 	"smartwatch/internal/core"
 	"smartwatch/internal/detect"
 	"smartwatch/internal/flowcache"
 	"smartwatch/internal/host"
+	"smartwatch/internal/obs"
 	"smartwatch/internal/p4switch"
 	"smartwatch/internal/packet"
 	"smartwatch/internal/pcap"
@@ -37,6 +44,8 @@ func main() {
 		verbose    = flag.Bool("v", false, "print every alert")
 		ipfixOut   = flag.String("ipfix", "", "export the flow log as IPFIX to this file")
 		emitP4     = flag.String("emit-p4", "", "write the switch query set as a P4-16 program to this file (requires -switch)")
+		metricsOut = flag.String("metrics", "", "emit a JSON-lines metrics snapshot each interval to this file (- for stdout)")
+		expvarAddr = flag.String("expvar", "", "serve live metrics over HTTP at this address (/debug/vars, /metrics, /debug/pprof); blocks after the run until interrupted")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -70,6 +79,26 @@ func main() {
 		cfg.EnableSwitch = true
 		cfg.Queries = defaultQueries()
 	}
+	var metricsFile *os.File
+	if *metricsOut != "" || *expvarAddr != "" {
+		cfg.Metrics = obs.NewRegistry()
+	}
+	switch *metricsOut {
+	case "":
+	case "-":
+		cfg.MetricsWriter = os.Stdout
+	default:
+		metricsFile, err = os.Create(*metricsOut)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.MetricsWriter = metricsFile
+	}
+	if *expvarAddr != "" {
+		if err := serveExpvar(*expvarAddr, cfg.Metrics); err != nil {
+			fatal(err)
+		}
+	}
 	pl := core.New(cfg)
 
 	// Buffered moves pcap decoding to its own goroutine so trace reading
@@ -79,8 +108,8 @@ func main() {
 	fmt.Printf("packets: total=%d forwarded-direct=%d to-snic=%d to-host=%d blocked=%d dropped-at-switch=%d\n",
 		rep.Counts.Total, rep.Counts.ForwardedDirect, rep.Counts.ToSNIC,
 		rep.Counts.ToHost, rep.Counts.Blocked, rep.Counts.DroppedAtSwitch)
-	fmt.Printf("flowcache: processed=%d hit-rate=%.3f evictions=%d host-punts=%d mode-switchovers=%d\n",
-		rep.Cache.Processed(), rep.Cache.HitRate(), rep.Cache.Evictions, rep.Cache.HostPunts, rep.Switchovers)
+	fmt.Printf("flowcache: processed=%d hit-rate=%.3f evictions=%d ring-drops=%d host-punts=%d mode-switchovers=%d\n",
+		rep.Cache.Processed(), rep.Cache.HitRate(), rep.Cache.Evictions, rep.Cache.RingDrops, rep.Cache.HostPunts, rep.Switchovers)
 	fmt.Printf("snic: achieved=%.2f Mpps p50-latency=%.0f ns p99=%.0f ns loss=%.4f\n",
 		rep.SNIC.AchievedMpps, rep.SNIC.Latency.Percentile(50), rep.SNIC.Latency.Percentile(99), rep.SNIC.LossRate())
 	fmt.Printf("host: cpu=%.2f ms flow-log-intervals=%d\n", rep.HostCPUNs/1e6, len(pl.KV().Intervals()))
@@ -130,6 +159,52 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "P4 program written to %s\n", *emitP4)
 	}
+	if err := pl.MetricsErr(); err != nil {
+		fatal(fmt.Errorf("metrics emit: %w", err))
+	}
+	if metricsFile != nil {
+		if err := metricsFile.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "metrics snapshots written to %s\n", *metricsOut)
+	}
+	if *expvarAddr != "" {
+		fmt.Fprintf(os.Stderr, "expvar: serving final metrics at http://%s/debug/vars (Ctrl-C to exit)\n", *expvarAddr)
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt)
+		<-ch
+	}
+}
+
+// serveExpvar starts the live metrics endpoint: /debug/vars carries the
+// whole registry under the "smartwatch" key (plus the stdlib expvars),
+// /metrics serves the latest snapshot as one JSON object, and the blank
+// net/http/pprof import wires /debug/pprof. Snapshots are read via the
+// registry's lock-free cache, so serving never perturbs the datapath.
+func serveExpvar(addr string, reg *obs.Registry) error {
+	last := func() any {
+		if s := reg.LastSnapshot(); s != nil {
+			return s
+		}
+		return struct{}{} // no interval closed yet
+	}
+	expvar.Publish("smartwatch", expvar.Func(last))
+	http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(last()) //nolint:errcheck // best-effort HTTP write
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	go func() {
+		if err := http.Serve(ln, nil); err != nil {
+			fmt.Fprintln(os.Stderr, "smartwatch: expvar server:", err)
+		}
+	}()
+	return nil
 }
 
 func buildDetectors(list string) ([]detect.Detector, error) {

@@ -69,10 +69,19 @@ func (pl *Platform) batchedFilter(s packet.Stream) packet.Stream {
 				}
 				if pl.steer == nil {
 					// Wire pipeline is ingest-only: run it as one vector
-					// through the tier batch API.
+					// through the tier batch API (which observes metrics
+					// itself).
 					pl.wire.ProcessBatch(ctxs[:len(sub)])
 				} else {
 					pl.ingest.ProcessBatch(ctxs[:len(sub)])
+					if pl.metrics != nil {
+						// Stage-level metrics parity with the per-packet
+						// drive: ingest ran outside the pipeline walk, so
+						// observe it here (stage 0 of the wire pipeline).
+						for j := range sub {
+							pl.wire.ObserveStage(0, ctxs[j])
+						}
+					}
 				}
 
 				// Verdict counters fold once per sub-batch: nothing reads
@@ -91,6 +100,11 @@ func (pl *Platform) batchedFilter(s packet.Stream) packet.Stream {
 						// previous packet (inside the last yield) may have
 						// programmed the switch tables this decision reads.
 						pl.steer.Handle(c)
+						if pl.metrics != nil {
+							// Stage 1 of the wire pipeline, run outside the
+							// pipeline walk — observe for metric parity.
+							pl.wire.ObserveStage(1, c)
+						}
 						if c.Verdict == tier.ForwardDirect {
 							direct++
 							continue

@@ -17,12 +17,14 @@
 package core
 
 import (
+	"io"
 	"sync/atomic"
 
 	"smartwatch/internal/container"
 	"smartwatch/internal/detect"
 	"smartwatch/internal/flowcache"
 	"smartwatch/internal/host"
+	"smartwatch/internal/obs"
 	"smartwatch/internal/p4switch"
 	"smartwatch/internal/packet"
 	"smartwatch/internal/snic"
@@ -72,6 +74,15 @@ type Config struct {
 	// 0 or 1 keeps the per-packet drive; LegacyPipeline ignores it (the
 	// oracle stays exactly as it was).
 	BatchSize int
+	// Metrics, when set, instruments every tier into this registry and
+	// snapshots it at each interval close (DESIGN.md §10). nil disables
+	// metrics entirely — the hot paths then pay only nil-check branches.
+	// Requires the tier pipeline (ignored under LegacyPipeline, which
+	// bypasses the bus the emitter rides on).
+	Metrics *obs.Registry
+	// MetricsWriter, when set alongside Metrics, receives one JSON-lines
+	// snapshot per monitoring interval plus the final end-of-run snapshot.
+	MetricsWriter io.Writer
 }
 
 // Platform is one assembled SmartWatch instance.
@@ -115,6 +126,13 @@ type Platform struct {
 	nextInterval int64
 	nextTick     int64
 	counts       atomicCounts
+
+	// metrics / emitter implement the observability layer (nil when
+	// Config.Metrics is unset); engine is the current Run's simulator,
+	// kept so the metrics collector can sample live datapath counters.
+	metrics *obs.Registry
+	emitter *obs.Emitter
+	engine  *snic.Engine
 }
 
 // Counts aggregates platform-level packet accounting.
@@ -203,6 +221,9 @@ func New(cfg Config) *Platform {
 	if !cfg.LegacyPipeline {
 		pl.wireBus()
 		pl.buildPipelines()
+		if cfg.Metrics != nil {
+			pl.instrumentMetrics()
+		}
 	}
 	return pl
 }
@@ -345,22 +366,28 @@ type ingestStage struct{ pl *Platform }
 func (s *ingestStage) Name() string { return "ingest" }
 
 func (s *ingestStage) Handle(ctx *tier.Context) {
-	s.pl.counts.total.Add(1)
+	// Tick BEFORE counting: an interval closing at this packet's timestamp
+	// must snapshot the counts exactly as the batched drive leaves them
+	// (it ticks at the sub-batch head, before folding the vector's total),
+	// keeping interval metric snapshots byte-identical across batch sizes.
+	// Nothing inside the tick path reads the counter, so the swap changes
+	// no other observable.
 	s.pl.maybeTick(ctx.Pkt.Ts)
+	s.pl.counts.total.Add(1)
 }
 
-// ProcessBatch implements tier.BatchStage: one atomic add covers the
-// whole vector (the total counter is read by nothing the timers touch,
-// so folding it commutes with tick work), then timers run per packet as
-// Handle would. When the batched drive calls this it has already ticked
-// at the vector's first timestamp and split the vector below the next
-// timer boundary, making the loop all no-ops; standalone callers get
-// per-packet-identical timer behaviour either way.
+// ProcessBatch implements tier.BatchStage: timers run per packet as
+// Handle would, then one atomic add covers the whole vector. When the
+// batched drive calls this it has already ticked at the vector's first
+// timestamp and split the vector below the next timer boundary, making
+// the tick loop all no-ops; the deferred fold is then invisible (the only
+// tick-path reader of the counter is the interval metrics snapshot, and
+// no tick can fire inside a pre-split vector).
 func (s *ingestStage) ProcessBatch(ctxs []*tier.Context) {
-	s.pl.counts.total.Add(uint64(len(ctxs)))
 	for _, c := range ctxs {
 		s.pl.maybeTick(c.Pkt.Ts)
 	}
+	s.pl.counts.total.Add(uint64(len(ctxs)))
 }
 
 // datapathStage is the sNIC tier: FlowCache update (with per-shard rate
@@ -453,6 +480,14 @@ type Report struct {
 	// Events summarises control-plane bus traffic (zero under
 	// LegacyPipeline, which bypasses the bus).
 	Events tier.BusStats
+	// Rings is the per-ring eviction-ring breakdown (depth at run end +
+	// cumulative overflow drops); Cache.RingDrops is its drop total.
+	Rings []flowcache.RingStat
+	// Host summarises the host flusher's interval work.
+	Host host.FlusherStats
+	// Metrics is the final metrics snapshot (nil when Config.Metrics is
+	// unset), stamped at the final flush's interval timestamp.
+	Metrics *obs.Snapshot
 }
 
 // Run replays the stream through the full platform and returns the
@@ -468,6 +503,7 @@ func (pl *Platform) Run(s packet.Stream) Report {
 		handler = pl.legacyHandler
 	}
 	engine := snic.New(pl.cfg.SNIC, handler)
+	pl.engine = engine
 	var filtered packet.Stream
 	switch {
 	case pl.cfg.LegacyPipeline:
@@ -513,9 +549,21 @@ func (pl *Platform) Run(s packet.Stream) Report {
 		HostCPUNs:   pl.store.CPUNs(),
 		Switchovers: pl.cache.Switchovers(),
 		Events:      pl.bus.Stats(),
+		Rings:       pl.cache.RingStats(),
+		Host:        pl.flusher.Stats(),
 	}
 	if pl.sw != nil {
 		out.SwitchStats = pl.sw.Stats()
+	}
+	if pl.metrics != nil {
+		// Final snapshot, stamped at the final flush's interval close; it
+		// also lands on MetricsWriter so the JSON-lines log is complete.
+		if pl.cfg.MetricsWriter != nil {
+			pl.emitter.Emit(pl.nextInterval)
+			out.Metrics = pl.metrics.LastSnapshot()
+		} else {
+			out.Metrics = pl.metrics.Snapshot(pl.nextInterval)
+		}
 	}
 	return out
 }

@@ -16,6 +16,14 @@ type Controller struct {
 	etaLow      float64
 	onSwitch    func(m Mode, rate float64, ts int64)
 	switchovers uint64
+
+	// Mode-residency bookkeeping: how much virtual time the cache has
+	// spent in each mode, segmented at flips. segStart opens the current
+	// segment, lastTs is the newest observation (the open segment's
+	// provisional end). Mutated only on the Observe goroutine.
+	resGeneralNs, resLiteNs int64
+	segStart, lastTs        int64
+	hasSeg                  bool
 }
 
 // ControllerConfig parameterises the switchover policy.
@@ -74,19 +82,52 @@ func NewController(c *Cache, cfg ControllerConfig) *Controller {
 // Observe records n packet arrivals at virtual time ts and applies the
 // Alg.-4 switchover rule. It returns the mode in force afterwards.
 func (ctl *Controller) Observe(ts int64, n int64) Mode {
+	if !ctl.hasSeg {
+		ctl.segStart, ctl.hasSeg = ts, true
+	}
+	ctl.lastTs = ts
 	rate := ctl.meter.Observe(ts, n)
 	mode := ctl.cache.Mode()
 	switch {
 	case rate > ctl.etaHigh && mode != Lite:
+		ctl.closeSegment(mode, ts)
 		ctl.cache.SetMode(Lite)
 		ctl.switchovers++
 		ctl.notify(Lite, rate, ts)
 	case rate < ctl.etaLow && mode != General:
+		ctl.closeSegment(mode, ts)
 		ctl.cache.SetMode(General)
 		ctl.switchovers++
 		ctl.notify(General, rate, ts)
 	}
 	return ctl.cache.Mode()
+}
+
+// closeSegment books the residency segment ending at ts against the mode
+// that was in force, and opens the next segment.
+func (ctl *Controller) closeSegment(mode Mode, ts int64) {
+	if mode == Lite {
+		ctl.resLiteNs += ts - ctl.segStart
+	} else {
+		ctl.resGeneralNs += ts - ctl.segStart
+	}
+	ctl.segStart = ts
+}
+
+// ModeResidency reports the virtual time spent in each mode, including
+// the still-open segment up to the latest observation. Call from the
+// Observe goroutine (or after processing quiesces).
+func (ctl *Controller) ModeResidency() (generalNs, liteNs int64) {
+	generalNs, liteNs = ctl.resGeneralNs, ctl.resLiteNs
+	if ctl.hasSeg {
+		open := ctl.lastTs - ctl.segStart
+		if ctl.cache.Mode() == Lite {
+			liteNs += open
+		} else {
+			generalNs += open
+		}
+	}
+	return generalNs, liteNs
 }
 
 func (ctl *Controller) notify(m Mode, rate float64, ts int64) {

@@ -1,0 +1,78 @@
+package flowcache
+
+// RingStat is one eviction ring's observable state: current depth and
+// cumulative overflow drops. The drops here are the per-ring breakdown of
+// Stats().RingDrops (the aggregate stays authoritative — both count every
+// refused Push).
+type RingStat struct {
+	Len   int
+	Drops uint64
+}
+
+// RingStats reports each eviction ring's depth and drop count, in ring
+// order.
+func (c *Cache) RingStats() []RingStat {
+	out := make([]RingStat, len(c.rings))
+	for i, r := range c.rings {
+		out[i] = RingStat{Len: r.Len(), Drops: r.Drops()}
+	}
+	return out
+}
+
+// RingStats reports every shard's rings, shard-major — same order as
+// Rings().
+func (s *Sharded) RingStats() []RingStat {
+	if len(s.shards) == 1 {
+		return s.shards[0].RingStats()
+	}
+	var out []RingStat
+	for _, c := range s.shards {
+		out = append(out, c.RingStats()...)
+	}
+	return out
+}
+
+// RingDropTotal sums overflow drops across all rings.
+func (s *Sharded) RingDropTotal() uint64 {
+	var n uint64
+	for _, st := range s.RingStats() {
+		n += st.Drops
+	}
+	return n
+}
+
+// OccupancyStats counts live and pinned records in one Snapshot walk —
+// cheaper than separate Occupancy + pin scans when both are wanted (the
+// metrics collector samples them every interval).
+func (c *Cache) OccupancyStats() (occupied, pinned int) {
+	c.Snapshot(func(r Record) bool {
+		occupied++
+		if r.Pinned {
+			pinned++
+		}
+		return true
+	})
+	return occupied, pinned
+}
+
+// OccupancyStats sums live and pinned records across shards.
+func (s *Sharded) OccupancyStats() (occupied, pinned int) {
+	for _, c := range s.shards {
+		o, p := c.OccupancyStats()
+		occupied += o
+		pinned += p
+	}
+	return occupied, pinned
+}
+
+// ModeResidency sums the virtual time every shard spent in each mode (see
+// Controller.ModeResidency); with n shards the totals add up to n× the
+// observed span.
+func (s *Sharded) ModeResidency() (generalNs, liteNs int64) {
+	for _, ctl := range s.ctls {
+		g, l := ctl.ModeResidency()
+		generalNs += g
+		liteNs += l
+	}
+	return generalNs, liteNs
+}

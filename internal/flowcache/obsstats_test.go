@@ -1,0 +1,133 @@
+package flowcache
+
+import "testing"
+
+// overflowConfig shrinks the rings so a handful of evictions from one row
+// overflows them.
+func overflowConfig() Config {
+	cfg := smallConfig()
+	cfg.Rings = 1
+	cfg.RingEntries = 2
+	return cfg
+}
+
+func TestRingStatsSurfaceOverflowDrops(t *testing.T) {
+	c := New(overflowConfig()) // 12 buckets/row, one 2-entry ring
+	pkts := fillRow(t, c, 18)  // 18 flows into 12 buckets → 6 evictions
+	for i := range pkts {
+		c.Process(&pkts[i])
+	}
+	st := c.Stats()
+	if st.Evictions != 6 {
+		t.Fatalf("evictions = %d, want 6", st.Evictions)
+	}
+	if st.RingDrops != 4 {
+		t.Fatalf("RingDrops = %d, want 4 (6 evictions, ring holds 2)", st.RingDrops)
+	}
+	rs := c.RingStats()
+	if len(rs) != 1 {
+		t.Fatalf("RingStats len = %d, want 1", len(rs))
+	}
+	if rs[0].Len != 2 || rs[0].Drops != 4 {
+		t.Fatalf("RingStats[0] = %+v, want {Len:2 Drops:4}", rs[0])
+	}
+	// The per-ring breakdown must sum to the aggregate counter.
+	var sum uint64
+	for _, r := range rs {
+		sum += r.Drops
+	}
+	if sum != st.RingDrops {
+		t.Fatalf("per-ring drops %d != aggregate %d", sum, st.RingDrops)
+	}
+}
+
+func TestShardedRingStatsAggregate(t *testing.T) {
+	cfg := overflowConfig()
+	s := NewSharded(2, cfg, ControllerConfig{})
+	// Push every shard's rows past capacity via per-shard forced evictions.
+	for si := 0; si < s.NumShards(); si++ {
+		c := s.Shard(si)
+		pkts := fillRow(t, c, 18)
+		for i := range pkts {
+			c.Process(&pkts[i])
+		}
+	}
+	rs := s.RingStats()
+	if len(rs) != 2*cfg.Rings {
+		t.Fatalf("RingStats len = %d, want %d", len(rs), 2*cfg.Rings)
+	}
+	var sum uint64
+	for _, r := range rs {
+		sum += r.Drops
+	}
+	if sum == 0 {
+		t.Fatal("expected overflow drops across shards")
+	}
+	if got := s.RingDropTotal(); got != sum {
+		t.Fatalf("RingDropTotal = %d, want %d", got, sum)
+	}
+	if agg := s.Stats().RingDrops; agg != sum {
+		t.Fatalf("Stats().RingDrops = %d, want %d", agg, sum)
+	}
+}
+
+func TestOccupancyStats(t *testing.T) {
+	c := New(smallConfig())
+	for i := 0; i < 10; i++ {
+		p := pkt(i, int64(i+1))
+		c.Process(&p)
+	}
+	pinMe := pkt(3, 99)
+	if !c.Pin(pinMe.Key()) {
+		t.Fatal("pin failed")
+	}
+	occ, pinned := c.OccupancyStats()
+	if occ != 10 || pinned != 1 {
+		t.Fatalf("OccupancyStats = (%d,%d), want (10,1)", occ, pinned)
+	}
+	if occ != c.Occupancy() {
+		t.Fatalf("OccupancyStats occupied %d != Occupancy %d", occ, c.Occupancy())
+	}
+}
+
+func TestControllerModeResidency(t *testing.T) {
+	c := New(smallConfig())
+	// Alpha 1 ⇒ the EWMA is the last window's raw rate; 1 ms windows.
+	ctl := NewController(c, ControllerConfig{Alpha: 1, WindowNs: 1e6, EtaHigh: 1000, EtaLow: 500})
+
+	// Window 1 [0,1ms): 10 events ⇒ 10k pps > EtaHigh when it closes.
+	for i := int64(0); i < 10; i++ {
+		ctl.Observe(i*1000, 1)
+	}
+	// First observation of window 2 closes window 1 → flips to Lite at 1ms.
+	if m := ctl.Observe(1_000_000, 0); m != Lite {
+		t.Fatalf("mode after busy window = %v, want Lite", m)
+	}
+	// Idle until 3ms: windows close at 0 pps < EtaLow → back to General.
+	if m := ctl.Observe(3_000_000, 0); m != General {
+		t.Fatalf("mode after idle gap = %v, want General", m)
+	}
+	// Open General segment through 5ms.
+	ctl.Observe(5_000_000, 0)
+
+	g, l := ctl.ModeResidency()
+	if g != 3_000_000 || l != 2_000_000 {
+		t.Fatalf("residency = (general %d, lite %d), want (3e6, 2e6)", g, l)
+	}
+	if ctl.Switchovers() != 2 {
+		t.Fatalf("switchovers = %d, want 2", ctl.Switchovers())
+	}
+}
+
+func TestShardedModeResidencySums(t *testing.T) {
+	s := NewSharded(2, smallConfig(), ControllerConfig{Alpha: 1, WindowNs: 1e6, EtaHigh: 1e12, EtaLow: 1})
+	for si := 0; si < 2; si++ {
+		ctl := s.ShardController(si)
+		ctl.Observe(0, 1)
+		ctl.Observe(4_000_000, 1)
+	}
+	g, l := s.ModeResidency()
+	if g != 8_000_000 || l != 0 {
+		t.Fatalf("sharded residency = (%d,%d), want (8e6,0)", g, l)
+	}
+}

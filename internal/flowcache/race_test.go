@@ -186,3 +186,87 @@ func TestConcurrentReadersAndWriters(t *testing.T) {
 		t.Fatal("nothing processed")
 	}
 }
+
+// TestRingConcurrentPushDrainDrops hammers one Ring from parallel
+// producers while a drainer and a stats reader run concurrently — the
+// configuration the paper's 80 PMEs put the eviction rings in. The
+// conservation check catches lost updates even without -race: every
+// pushed record is eventually drained, still buffered, or counted as a
+// drop, never silently lost or double-counted.
+func TestRingConcurrentPushDrainDrops(t *testing.T) {
+	const (
+		producers = 6
+		perG      = 30_000
+	)
+	r := NewRing(512)
+	var prodWg sync.WaitGroup
+	var pushed, rejected [producers]uint64
+	for g := 0; g < producers; g++ {
+		prodWg.Add(1)
+		go func(g int) {
+			defer prodWg.Done()
+			for i := 0; i < perG; i++ {
+				if r.Push(Record{Pkts: uint64(g*perG + i)}) {
+					pushed[g]++
+				} else {
+					rejected[g]++
+				}
+			}
+		}(g)
+	}
+
+	done := make(chan struct{})
+	var auxWg sync.WaitGroup
+	var drained uint64
+	auxWg.Add(1)
+	go func() { // host-side drainer
+		defer auxWg.Done()
+		buf := make([]Record, 0, 256)
+		for {
+			buf = r.Drain(buf[:0], 256)
+			drained += uint64(len(buf))
+			if len(buf) == 0 {
+				select {
+				case <-done:
+					return
+				default:
+				}
+			}
+		}
+	}()
+	auxWg.Add(1)
+	go func() { // concurrent stats reader (metrics collector)
+		defer auxWg.Done()
+		for {
+			r.Drops()
+			r.Len()
+			select {
+			case <-done:
+				return
+			default:
+			}
+		}
+	}()
+
+	prodWg.Wait()
+	close(done)
+	auxWg.Wait()
+	// The drainer may have exited between a producer's last push and its
+	// own final empty Drain; collect any tail left in the ring.
+	tail := uint64(len(r.Drain(nil, 0)))
+
+	var accepted, refused uint64
+	for g := 0; g < producers; g++ {
+		accepted += pushed[g]
+		refused += rejected[g]
+	}
+	if accepted+refused != producers*perG {
+		t.Fatalf("accounting lost pushes: %d+%d != %d", accepted, refused, producers*perG)
+	}
+	if refused != r.Drops() {
+		t.Errorf("rejected pushes %d != ring drops %d", refused, r.Drops())
+	}
+	if got := drained + tail; got != accepted {
+		t.Errorf("drained %d + tail %d != accepted %d", drained, tail, accepted)
+	}
+}

@@ -39,12 +39,33 @@ type Flusher struct {
 	// Rings are the FlowCache eviction rings to drain (shard-major when
 	// the datapath is sharded).
 	Rings []*flowcache.Ring
+
+	flushes uint64
+	drained uint64
+}
+
+// FlusherStats summarises the flusher's cumulative work.
+type FlusherStats struct {
+	// Flushes counts OnInterval invocations (FinalFlush excluded — it is
+	// the end-of-run export, not interval work).
+	Flushes uint64
+	// Drained counts flow records drained from the eviction rings, across
+	// interval flushes and the final flush.
+	Drained uint64
+}
+
+// Stats returns the cumulative flusher counters. Call from the interval
+// goroutine (the bus delivers events synchronously, so collectors running
+// on interval close see a settled value).
+func (f *Flusher) Stats() FlusherStats {
+	return FlusherStats{Flushes: f.flushes, Drained: f.drained}
 }
 
 // OnInterval runs the per-interval host work in the legacy order: rings,
 // NF timers, flow-log flush.
 func (f *Flusher) OnInterval(ts int64) {
-	f.Store.DrainRings(f.Rings)
+	f.drained += uint64(f.Store.DrainRings(f.Rings))
+	f.flushes++
 	f.Ports.Tick(ts)
 	_ = f.KV.FlushInterval(ts, f.Store)
 }
@@ -54,7 +75,7 @@ func (f *Flusher) OnInterval(ts int64) {
 // under ts. Unlike OnInterval it does not advance NF timers — the run is
 // over.
 func (f *Flusher) FinalFlush(ts int64, snapshot func(func(flowcache.Record) bool)) {
-	f.Store.DrainRings(f.Rings)
+	f.drained += uint64(f.Store.DrainRings(f.Rings))
 	snapshot(func(r flowcache.Record) bool {
 		f.Store.Ingest(r)
 		return true

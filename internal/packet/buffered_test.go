@@ -162,3 +162,49 @@ func TestBufferedInfiniteSourceEarlyStop(t *testing.T) {
 		}
 	}
 }
+
+// TestBufferedBatchesRecyclingNoAliasing pins the recycling contract: the
+// yielded slice is the consumer's alone for the whole loop body, even
+// while the producer races ahead filling the other free-list buffers.
+// The consumer stalls mid-body (forcing the producer as far ahead as the
+// free list allows), re-reads the batch after the stall, and checks a
+// copy taken at entry — any buffer handed back to the producer too early
+// shows up as a torn read here, and as a write-during-read under -race.
+func TestBufferedBatchesRecyclingNoAliasing(t *testing.T) {
+	const (
+		n     = 40_000
+		batch = 64
+	)
+	next := int64(0)
+	kept := make([]Packet, 0, batch) // copy of the previous batch (contract-compliant retention)
+	keptStart := int64(-1)
+	for b := range BufferedBatches(seqStream(n), batch) {
+		entry := append([]Packet(nil), b...)
+
+		// Stall so the producer overwrites every recycled buffer it can
+		// reach before this body finishes.
+		if next%(17*batch) == 0 {
+			time.Sleep(200 * time.Microsecond)
+		} else {
+			runtime.Gosched()
+		}
+
+		// The live batch must be untouched by the producer's progress.
+		for i := range b {
+			if b[i] != entry[i] || b[i].Ts != next+int64(i) {
+				t.Fatalf("batch starting at %d: index %d torn: entry %v now %v", next, i, entry[i], b[i])
+			}
+		}
+		// The copied previous batch survives recycling of its source buffer.
+		for i := range kept {
+			if kept[i].Ts != keptStart+int64(i) {
+				t.Fatalf("retained copy of batch at %d corrupted at %d: %v", keptStart, i, kept[i])
+			}
+		}
+		kept, keptStart = append(kept[:0], b...), next
+		next += int64(len(b))
+	}
+	if next != n {
+		t.Fatalf("consumed %d packets, want %d", next, n)
+	}
+}

@@ -99,6 +99,9 @@ type Engine struct {
 	threads    threadHeap
 	engineFree []float64 // per-PME engine availability
 	dispatch   float64   // scatter-gather front-end availability
+	// live points at the running Run's report so LiveCounts can surface
+	// mid-run progress; valid only on the driving goroutine.
+	live *Report
 }
 
 // New builds a simulator; handler must not be nil.
@@ -135,6 +138,7 @@ func New(cfg Config, handler Handler) *Engine {
 func (e *Engine) Run(s packet.Stream) Report {
 	prof := e.cfg.Profile
 	rep := Report{Latency: stats.NewQuantiles(e.cfg.LatencySamples)}
+	e.live = &rep
 	var firstTs, lastDone float64
 	first := true
 
@@ -226,4 +230,16 @@ func (e *Engine) Run(s packet.Stream) Report {
 		rep.AchievedMpps = float64(rep.Processed) / rep.SpanNs * 1e3
 	}
 	return rep
+}
+
+// LiveCounts reports Run progress: packets processed so far, input-buffer
+// drops, and accumulated engine busy time. During a Run it must be called
+// from the driving goroutine (a handler or something it invokes
+// synchronously, e.g. an interval metrics collector); after Run returns it
+// reports the final totals. It returns zeros before the first Run.
+func (e *Engine) LiveCounts() (processed, dropped uint64, engineBusyNs float64) {
+	if e.live == nil {
+		return 0, 0, 0
+	}
+	return e.live.Processed, e.live.Dropped, e.live.EngineBusyNs
 }

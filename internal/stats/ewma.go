@@ -72,14 +72,31 @@ func (m *RateMeter) Observe(ts int64, n int64) float64 {
 	if !m.hasWindow {
 		m.start, m.hasWindow = ts, true
 	}
-	for ts-m.start >= m.windowNs {
-		rate := float64(m.count) / (float64(m.windowNs) / 1e9)
-		m.ewma.Update(rate)
-		m.count = 0
-		m.start += m.windowNs
+	if k := (ts - m.start) / m.windowNs; k > 0 {
+		m.closeWindows(k)
 	}
 	m.count += n
 	return m.ewma.Value()
+}
+
+// closeWindows folds k elapsed windows into the EWMA: the first carries the
+// accumulated count, the remaining k-1 are empty and only decay the average.
+// Repeated decay by (1-alpha) underflows float64 to exactly 0 after a
+// bounded number of steps (≈ a few hundred for the controller's alpha), and
+// from 0 every further empty window is an identity update — so the loop
+// exits early there, making a virtual-time idle gap of any length O(1)-ish
+// instead of O(gap/windowNs), while remaining bit-identical to decaying one
+// window at a time.
+func (m *RateMeter) closeWindows(k int64) {
+	rate := float64(m.count) / (float64(m.windowNs) / 1e9)
+	m.ewma.Update(rate)
+	m.count = 0
+	for i := int64(1); i < k; i++ {
+		if m.ewma.Update(0) == 0 {
+			break
+		}
+	}
+	m.start += k * m.windowNs
 }
 
 // Rate returns the current smoothed rate in events/second.

@@ -32,7 +32,7 @@ func (pl *Pipeline) ProcessBatch(ctxs []*Context) {
 		pl.scratch = make([]*Context, 0, len(ctxs))
 	}
 	live := append(pl.scratch[:0], ctxs...)
-	for _, s := range pl.stages {
+	for i, s := range pl.stages {
 		if len(live) == 0 {
 			break
 		}
@@ -41,6 +41,13 @@ func (pl *Pipeline) ProcessBatch(ctxs []*Context) {
 		} else {
 			for _, c := range live {
 				s.Handle(c)
+			}
+		}
+		if pl.m != nil {
+			// Observe before compaction so terminal verdicts are counted
+			// against the stage that issued them, as Process does.
+			for _, c := range live {
+				pl.ObserveStage(i, c)
 			}
 		}
 		w := 0

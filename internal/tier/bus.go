@@ -3,6 +3,7 @@ package tier
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"smartwatch/internal/flowcache"
 	"smartwatch/internal/packet"
@@ -145,10 +146,16 @@ func (s BusStats) PublishedFor(k Kind) uint64 {
 // serialise on an internal mutex (control events are rare, so the lock is
 // uncontended in practice).
 type Bus struct {
-	mu        sync.Mutex
-	subs      [int(kindCount)][]subscriber
-	stats     BusStats
-	lastPanic string
+	mu   sync.Mutex
+	subs [int(kindCount)][]subscriber
+	// The traffic counters are atomics, NOT guarded by mu: subscribers
+	// (e.g. the interval metrics collector) may call Stats from inside a
+	// delivery, while Publish still holds mu — a mutex-guarded read there
+	// would self-deadlock.
+	published [int(kindCount)]atomic.Uint64
+	delivered atomic.Uint64
+	panics    atomic.Uint64
+	lastPanic atomic.Pointer[string]
 }
 
 // NewBus returns an empty bus.
@@ -178,7 +185,7 @@ func (b *Bus) Publish(e Event) {
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	b.stats.Published[k]++
+	b.published[k].Add(1)
 	for _, s := range b.subs[k] {
 		b.deliver(s, e)
 	}
@@ -188,27 +195,35 @@ func (b *Bus) Publish(e Event) {
 func (b *Bus) deliver(s subscriber, e Event) {
 	defer func() {
 		if r := recover(); r != nil {
-			b.stats.Panics++
-			b.lastPanic = fmt.Sprintf("%s: %v", s.name, r)
+			b.panics.Add(1)
+			msg := fmt.Sprintf("%s: %v", s.name, r)
+			b.lastPanic.Store(&msg)
 		}
 	}()
 	s.fn(e)
-	b.stats.Delivered++
+	b.delivered.Add(1)
 }
 
-// Stats returns a snapshot of the bus counters.
+// Stats returns a snapshot of the bus counters. Lock-free, so subscribers
+// may call it from inside a delivery (the in-flight event is counted as
+// published but not yet delivered).
 func (b *Bus) Stats() BusStats {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.stats
+	var s BusStats
+	for i := range b.published {
+		s.Published[i] = b.published[i].Load()
+	}
+	s.Delivered = b.delivered.Load()
+	s.Panics = b.panics.Load()
+	return s
 }
 
 // LastPanic describes the most recent recovered subscriber panic ("" when
 // none occurred).
 func (b *Bus) LastPanic() string {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.lastPanic
+	if p := b.lastPanic.Load(); p != nil {
+		return *p
+	}
+	return ""
 }
 
 // Subscribers lists the diagnostic names registered for a kind, in

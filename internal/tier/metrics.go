@@ -1,0 +1,77 @@
+package tier
+
+import (
+	"smartwatch/internal/obs"
+)
+
+// pipelineMetrics holds a pipeline's per-stage instruments. The pipeline
+// carries a nil pointer when metrics are disabled, so the hot path pays
+// exactly one predictable branch per stage (proven by
+// BenchmarkPipelineDisabledMetrics).
+type pipelineMetrics struct {
+	// queueDelay observes ctx.SNIC.QueueDelayNs once per packet at the
+	// first stage — the virtual-time latency the packet accumulated before
+	// entering this pipeline (zero on the wire side, the input-buffer wait
+	// on the sNIC side).
+	queueDelay *obs.Histogram
+	stages     []stageMetrics
+}
+
+// stageMetrics counts one stage's traffic and verdict outcomes.
+type stageMetrics struct {
+	packets *obs.Counter
+	// verdicts indexes by Verdict (Continue, ForwardDirect, DropAtSwitch).
+	verdicts [3]*obs.Counter
+}
+
+// Instrument attaches per-stage metrics to the pipeline under
+// "tier.<prefix>." names:
+//
+//	tier.<prefix>.<stage>.packets            packets entering the stage
+//	tier.<prefix>.<stage>.verdict.<verdict>  outcome after the stage ran
+//	tier.<prefix>.queue_delay_ns             histogram, first stage only
+//
+// Call once at wiring time, before processing. A nil registry leaves the
+// pipeline uninstrumented (the disabled fast path).
+func (pl *Pipeline) Instrument(reg *obs.Registry, prefix string) {
+	if reg == nil {
+		return
+	}
+	m := &pipelineMetrics{
+		queueDelay: reg.Histogram("tier."+prefix+".queue_delay_ns", obs.ExpBounds(100, 4, 10)),
+		stages:     make([]stageMetrics, len(pl.stages)),
+	}
+	for i, s := range pl.stages {
+		base := "tier." + prefix + "." + s.Name()
+		m.stages[i] = stageMetrics{
+			packets: reg.Counter(base + ".packets"),
+			verdicts: [3]*obs.Counter{
+				reg.Counter(base + ".verdict." + Continue.String()),
+				reg.Counter(base + ".verdict." + ForwardDirect.String()),
+				reg.Counter(base + ".verdict." + DropAtSwitch.String()),
+			},
+		}
+	}
+	pl.m = m
+}
+
+// ObserveStage records that stage i just ran on ctx: one packet in, one
+// verdict out, plus the queue-delay sample when i is the first stage.
+// No-op when the pipeline is uninstrumented. Exported for drivers that
+// run stages outside Process/ProcessBatch (core's batched drive steers
+// per-packet between vectored stages) so batched and per-packet runs
+// count identically.
+func (pl *Pipeline) ObserveStage(i int, ctx *Context) {
+	m := pl.m
+	if m == nil {
+		return
+	}
+	if i == 0 {
+		m.queueDelay.Observe(ctx.SNIC.QueueDelayNs)
+	}
+	sm := &m.stages[i]
+	sm.packets.Add(1)
+	if v := int(ctx.Verdict); v < len(sm.verdicts) {
+		sm.verdicts[v].Add(1)
+	}
+}

@@ -1,0 +1,135 @@
+package tier
+
+import (
+	"testing"
+
+	"smartwatch/internal/obs"
+	"smartwatch/internal/packet"
+)
+
+func TestPipelineInstrumentCountsStagesAndVerdicts(t *testing.T) {
+	a := &stubStage{name: "ingest"}
+	b := &stubStage{name: "steer", verdict: DropAtSwitch}
+	c := &stubStage{name: "datapath"}
+	pl := NewPipeline(a, b, c)
+	reg := obs.NewRegistry()
+	pl.Instrument(reg, "wire")
+
+	var ctx Context
+	p := packet.Packet{}
+	ctx.Reset(&p)
+	pl.Process(&ctx)
+
+	s := reg.Snapshot(0)
+	if got := s.Counter("tier.wire.ingest.packets"); got != 1 {
+		t.Errorf("ingest.packets = %d, want 1", got)
+	}
+	if got := s.Counter("tier.wire.ingest.verdict.continue"); got != 1 {
+		t.Errorf("ingest continue = %d, want 1", got)
+	}
+	if got := s.Counter("tier.wire.steer.packets"); got != 1 {
+		t.Errorf("steer.packets = %d, want 1", got)
+	}
+	if got := s.Counter("tier.wire.steer.verdict.drop-at-switch"); got != 1 {
+		t.Errorf("steer drop = %d, want 1", got)
+	}
+	// The short-circuited stage must count nothing.
+	if got := s.Counter("tier.wire.datapath.packets"); got != 0 {
+		t.Errorf("datapath.packets = %d, want 0", got)
+	}
+	if hv := s.Histograms["tier.wire.queue_delay_ns"]; hv.Count != 1 {
+		t.Errorf("queue_delay count = %d, want 1", hv.Count)
+	}
+}
+
+func TestProcessBatchMetricsMatchPerPacket(t *testing.T) {
+	build := func() (*Pipeline, *obs.Registry) {
+		a := &stubStage{name: "ingest"}
+		b := &parityVerdictStage{name: "steer"}
+		c := &stubStage{name: "datapath"}
+		pl := NewPipeline(a, b, c)
+		reg := obs.NewRegistry()
+		pl.Instrument(reg, "p")
+		return pl, reg
+	}
+
+	const n = 10
+	mkCtxs := func() []*Context {
+		out := make([]*Context, n)
+		for i := range out {
+			p := &packet.Packet{Size: uint16(i)}
+			out[i] = &Context{}
+			out[i].Reset(p)
+		}
+		return out
+	}
+
+	plA, regA := build()
+	for _, c := range mkCtxs() {
+		plA.Process(c)
+	}
+	plB, regB := build()
+	plB.ProcessBatch(mkCtxs())
+
+	sa, sb := regA.Snapshot(0), regB.Snapshot(0)
+	for name, va := range sa.Counters {
+		if vb := sb.Counter(name); vb != va {
+			t.Errorf("%s: per-packet %d, batch %d", name, va, vb)
+		}
+	}
+	if len(sa.Counters) != len(sb.Counters) {
+		t.Errorf("counter sets differ: %d vs %d", len(sa.Counters), len(sb.Counters))
+	}
+}
+
+// parityVerdictStage drops packets with even sizes — exercises mixed
+// verdicts inside one batch.
+type parityVerdictStage struct{ name string }
+
+func (s *parityVerdictStage) Name() string { return s.name }
+func (s *parityVerdictStage) Handle(ctx *Context) {
+	if ctx.Pkt.Size%2 == 0 {
+		ctx.Verdict = DropAtSwitch
+	}
+}
+
+func TestUninstrumentedPipelineUnaffected(t *testing.T) {
+	a := &stubStage{name: "only"}
+	pl := NewPipeline(a)
+	pl.Instrument(nil, "x") // nil registry must leave the pipeline bare
+	var ctx Context
+	p := packet.Packet{}
+	ctx.Reset(&p)
+	pl.Process(&ctx)
+	pl.ObserveStage(0, &ctx) // must be a safe no-op
+	if a.calls != 1 {
+		t.Fatalf("calls = %d", a.calls)
+	}
+}
+
+// BenchmarkPipelineDisabledMetrics measures Process with metrics off —
+// the guard is one nil check per stage, no atomics, no allocations.
+func BenchmarkPipelineDisabledMetrics(b *testing.B) {
+	pl := NewPipeline(&stubStage{name: "a"}, &stubStage{name: "b"})
+	var ctx Context
+	p := packet.Packet{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx.Reset(&p)
+		pl.Process(&ctx)
+	}
+}
+
+func BenchmarkPipelineEnabledMetrics(b *testing.B) {
+	pl := NewPipeline(&stubStage{name: "a"}, &stubStage{name: "b"})
+	pl.Instrument(obs.NewRegistry(), "bench")
+	var ctx Context
+	p := packet.Packet{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx.Reset(&p)
+		pl.Process(&ctx)
+	}
+}

@@ -103,6 +103,9 @@ type Pipeline struct {
 	stages []Stage
 	// scratch is ProcessBatch's survivor vector, reused across batches.
 	scratch []*Context
+	// m is the optional per-stage instrumentation (nil when metrics are
+	// disabled; see Instrument).
+	m *pipelineMetrics
 }
 
 // NewPipeline builds a pipeline; nil stages are skipped.
@@ -119,8 +122,11 @@ func NewPipeline(stages ...Stage) *Pipeline {
 // Process runs the stages in order, stopping at the first non-Continue
 // verdict, which it returns.
 func (pl *Pipeline) Process(ctx *Context) Verdict {
-	for _, s := range pl.stages {
+	for i, s := range pl.stages {
 		s.Handle(ctx)
+		if pl.m != nil {
+			pl.ObserveStage(i, ctx)
+		}
 		if ctx.Verdict != Continue {
 			return ctx.Verdict
 		}

@@ -22,6 +22,7 @@ import (
 	"smartwatch/internal/detect"
 	"smartwatch/internal/flowcache"
 	"smartwatch/internal/host"
+	"smartwatch/internal/obs"
 	"smartwatch/internal/p4switch"
 	"smartwatch/internal/packet"
 	"smartwatch/internal/pcap"
@@ -111,6 +112,22 @@ type FlowCacheControllerConfig = flowcache.ControllerConfig
 func NewShardedFlowCache(shards int, cfg FlowCacheConfig, ctl FlowCacheControllerConfig) *ShardedFlowCache {
 	return flowcache.NewSharded(shards, cfg, ctl)
 }
+
+// Observability ---------------------------------------------------------------
+
+// MetricsRegistry is the platform's metrics tree (DESIGN.md §10). Set one
+// on Config.Metrics to enable instrumentation: per-stage pipeline
+// counters, FlowCache occupancy/drop series, sNIC utilisation, host flush
+// depth. With Config.MetricsWriter also set, one canonical JSON snapshot
+// line is emitted per monitoring interval.
+type MetricsRegistry = obs.Registry
+
+// MetricsSnapshot is one virtual-time-stamped materialisation of the tree
+// (Report.Metrics carries the final one).
+type MetricsSnapshot = obs.Snapshot
+
+// NewMetricsRegistry returns an empty registry for Config.Metrics.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
 
 // Control-plane events --------------------------------------------------------
 
