@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race shards check bench profile experiments metrics-smoke clean
+.PHONY: all build vet test race shards policies check bench profile experiments metrics-smoke clean
 
 all: check
 
@@ -31,6 +31,15 @@ race:
 shards:
 	$(GO) vet ./...
 	$(GO) test -race -run 'Shard|Bus|Pipeline|Event|TierPipeline|AtomicCounts|Batch' ./internal/flowcache/ ./internal/tier/ ./internal/core/
+
+# Replacement-policy / adaptive-controller gate (DESIGN.md §11): golden
+# LRU-LPC extraction, policy divergence + determinism, controller
+# hysteresis/feedback tables and the adaptive determinism suite under
+# the race detector, then the policies experiment table at reduced scale.
+policies:
+	$(GO) vet ./...
+	$(GO) test -race -run 'Policy|S3FIFO|Controller|Adaptive|Feedback|CleanRowsBounded' ./internal/flowcache/
+	$(GO) run ./cmd/experiments -scale 0.1 policies
 
 check: vet build test race
 

@@ -179,6 +179,45 @@ func main() {
 		}
 	}))
 
+	// Per-policy hot path: same vectored drive as flowcache_process_batch64
+	// (which measures the default lru-lpc), one micro per alternative
+	// policy, so -compare catches a regression in any replacement path.
+	for _, policy := range []string{flowcache.PolicyNameLRU, flowcache.PolicyNameS3FIFO} {
+		policy := policy
+		fmt.Fprintf(os.Stderr, "bench: flowcache.ProcessBatch, policy=%s ...\n", policy)
+		pcfg := flowcache.DefaultConfig(10)
+		pcfg.Policy = policy
+		pc := flowcache.New(pcfg)
+		snap.Micro["flowcache_process_batch64_"+policy] = toMicro(testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; {
+				off := i & (len(pkts) - 1)
+				n := 64
+				if off+n > len(pkts) {
+					n = len(pkts) - off
+				}
+				if i+n > b.N {
+					n = b.N - i
+				}
+				pc.ProcessBatch(pkts[off : off+n])
+				i += n
+			}
+		}))
+	}
+
+	// Adaptive controller overhead: the full Observe+Process step with the
+	// feedback loop live, against the same packet mix.
+	fmt.Fprintln(os.Stderr, "bench: flowcache adaptive observe+process ...")
+	acfg := flowcache.DefaultControllerConfig()
+	acfg.Adaptive.Enabled = true
+	ash := flowcache.NewSharded(1, flowcache.DefaultConfig(10), acfg)
+	snap.Micro["flowcache_adaptive_observe_process"] = toMicro(testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ash.ObserveProcess(&pkts[i&(len(pkts)-1)])
+		}
+	}))
+
 	fmt.Fprintln(os.Stderr, "bench: snic dispatch loop ...")
 	snap.Micro["snic_dispatch"] = toMicro(testing.Benchmark(func(b *testing.B) {
 		eng := snic.New(snic.DefaultConfig(), func(p *packet.Packet, ctx snic.Ctx) snic.Cost {

@@ -41,6 +41,8 @@ func main() {
 		rowBits    = flag.Int("rowbits", 14, "FlowCache rows = 2^rowbits (x12 buckets)")
 		shards     = flag.Int("shards", 1, "FlowCache shards (power of two; capacity is split, not multiplied)")
 		batch      = flag.Int("batch", 1, "ingest batch size (vectors of this many packets; 1 = per-packet drive)")
+		policy     = flag.String("policy", "", "FlowCache replacement policy: lru-lpc (default), lru, s3fifo")
+		adaptive   = flag.Bool("adaptive", false, "self-tuning mode controllers (metrics-driven threshold + pin-budget feedback)")
 		verbose    = flag.Bool("v", false, "print every alert")
 		ipfixOut   = flag.String("ipfix", "", "export the flow log as IPFIX to this file")
 		emitP4     = flag.String("emit-p4", "", "write the switch query set as a P4-16 program to this file (requires -switch)")
@@ -75,6 +77,16 @@ func main() {
 	if *rowBits > 0 {
 		cfg.Cache = flowcache.DefaultConfig(*rowBits)
 	}
+	if *policy != "" {
+		cfg.Cache.Policy = *policy
+		if err := cfg.Cache.Validate(); err != nil {
+			fatal(err) // unknown -policy names fail here with the known list
+		}
+	}
+	if *adaptive {
+		cfg.Controller = flowcache.DefaultControllerConfig()
+		cfg.Controller.Adaptive.Enabled = true
+	}
 	if *useSwitch {
 		cfg.EnableSwitch = true
 		cfg.Queries = defaultQueries()
@@ -108,8 +120,9 @@ func main() {
 	fmt.Printf("packets: total=%d forwarded-direct=%d to-snic=%d to-host=%d blocked=%d dropped-at-switch=%d\n",
 		rep.Counts.Total, rep.Counts.ForwardedDirect, rep.Counts.ToSNIC,
 		rep.Counts.ToHost, rep.Counts.Blocked, rep.Counts.DroppedAtSwitch)
-	fmt.Printf("flowcache: processed=%d hit-rate=%.3f evictions=%d ring-drops=%d host-punts=%d mode-switchovers=%d\n",
-		rep.Cache.Processed(), rep.Cache.HitRate(), rep.Cache.Evictions, rep.Cache.RingDrops, rep.Cache.HostPunts, rep.Switchovers)
+	fmt.Printf("flowcache: policy=%s processed=%d hit-rate=%.3f evictions=%d ring-drops=%d host-punts=%d mode-switchovers=%d\n",
+		pl.Cache().Shard(0).PolicyName(), rep.Cache.Processed(), rep.Cache.HitRate(),
+		rep.Cache.Evictions, rep.Cache.RingDrops, rep.Cache.HostPunts, rep.Switchovers)
 	fmt.Printf("snic: achieved=%.2f Mpps p50-latency=%.0f ns p99=%.0f ns loss=%.4f\n",
 		rep.SNIC.AchievedMpps, rep.SNIC.Latency.Percentile(50), rep.SNIC.Latency.Percentile(99), rep.SNIC.LossRate())
 	fmt.Printf("host: cpu=%.2f ms flow-log-intervals=%d\n", rep.HostCPUNs/1e6, len(pl.KV().Intervals()))

@@ -24,11 +24,22 @@ import (
 // *hardware* cost model (atomic add for updates, latch+swap for inserts)
 // via the Reads/Writes counts each call reports.
 type Cache struct {
-	cfg   Config
-	mode  atomic.Uint32
-	rows  []row
-	rings []*Ring
-	stats statCounters
+	cfg Config
+	// kind / policyP / policyE / policy are the resolved replacement
+	// policy (see policy.go): the hot path switches on kind, the
+	// comparator pair serves kindBuffers, and the interface instance is
+	// consulted only for kindCustom.
+	kind             policyKind
+	policyP, policyE Policy
+	policy           ReplacementPolicy
+	mode             atomic.Uint32
+	rows             []row
+	rings            []*Ring
+	stats            statCounters
+	fb               feedback
+	// sweepCursor is CleanRowsBounded's persistent position (clean.go).
+	// Single-caller discipline: the maintenance tick owns it.
+	sweepCursor int
 }
 
 type row struct {
@@ -81,6 +92,7 @@ func New(cfg Config) *Cache {
 		panic(err)
 	}
 	c := &Cache{cfg: cfg}
+	c.kind, c.policyP, c.policyE, c.policy = resolvePolicy(cfg)
 	c.rows = make([]row, cfg.Rows())
 	store := make([]Record, cfg.Rows()*cfg.Buckets) // contiguous, like the sNIC allocation
 	for i := range c.rows {
@@ -212,12 +224,27 @@ func (c *Cache) processHashed(p *packet.Packet, hash uint64, key packet.FlowKey,
 	if rec, idx := c.probe(rw, hash, key, lo, hi, res); rec != nil {
 		if idx < pEnd {
 			rec.update(p)
+			if c.kind != kindBuffers {
+				c.onHit(rec, BufferP)
+			}
 			res.Outcome = PHit
 			res.Writes++
 			rw.release()
 			return rec
 		}
-		// E hit: swap with P's victim, then update.
+		// E hit: under the paper's policies, swap with P's victim, then
+		// update; lazy-promotion policies (s3fifo) record the reuse and
+		// leave the record in place.
+		if c.kind != kindBuffers {
+			c.onHit(rec, BufferE)
+			if !c.promoteOnEHit() {
+				rec.update(p)
+				res.Outcome = EHit
+				res.Writes++
+				rw.release()
+				return rec
+			}
+		}
 		rec = c.promote(rw, idx, lo, pEnd, res)
 		rec.update(p)
 		res.Outcome = EHit
@@ -228,6 +255,9 @@ func (c *Cache) processHashed(p *packet.Packet, hash uint64, key packet.FlowKey,
 
 	rec := c.insert(rw, hash, key, p, lo, pEnd, hi, res)
 	if rec == nil {
+		if c.fb.track {
+			c.fb.punts.Add(1)
+		}
 		res.Outcome = HostPunt
 		rw.release()
 		return nil
@@ -322,7 +352,7 @@ func (c *Cache) victimIndex(rw *row, lo, hi int, policy Policy, res *Result) int
 // promote swaps an E-buffer hit into the Primary buffer (Fig. 4a "E hit")
 // and returns the record's new location.
 func (c *Cache) promote(rw *row, eIdx, pLo, pEnd int, res *Result) *Record {
-	pIdx := c.victimIndex(rw, pLo, pEnd, c.cfg.PolicyP, res)
+	pIdx := c.victimP(rw, pLo, pEnd, res)
 	if pIdx == -1 || pIdx == eIdx {
 		// Whole P pinned (or degenerate layout): keep the record in place.
 		return &rw.buckets[eIdx]
@@ -344,14 +374,17 @@ func (c *Cache) insert(rw *row, hash uint64, key packet.FlowKey, p *packet.Packe
 		occupied: true,
 	}
 
-	pIdx := c.victimIndex(rw, lo, pEnd, c.cfg.PolicyP, res)
+	pIdx := c.victimP(rw, lo, pEnd, res)
 	if pIdx == -1 {
 		// All of P pinned; try to land directly in E.
 		if pEnd < hi {
-			if eIdx := c.victimIndex(rw, pEnd, hi, c.cfg.PolicyE, res); eIdx != -1 {
+			if eIdx := c.victimE(rw, pEnd, hi, res); eIdx != -1 {
 				c.evictOccupied(rw, eIdx, res)
 				rw.buckets[eIdx] = newRec
 				res.Writes++
+				if c.fb.track {
+					c.fb.occupied.Add(1)
+				}
 				return &rw.buckets[eIdx]
 			}
 		}
@@ -361,9 +394,9 @@ func (c *Cache) insert(rw *row, hash uint64, key packet.FlowKey, p *packet.Packe
 
 	pVictim := &rw.buckets[pIdx]
 	if pVictim.occupied {
-		if pEnd < hi {
+		if pEnd < hi && c.demoteToE(pVictim) {
 			// Demote P's victim into E, evicting E's victim to a ring.
-			eIdx := c.victimIndex(rw, pEnd, hi, c.cfg.PolicyE, res)
+			eIdx := c.victimE(rw, pEnd, hi, res)
 			if eIdx == -1 {
 				// E fully pinned: evict P's victim straight to the ring.
 				c.evictOccupied(rw, pIdx, res)
@@ -373,12 +406,16 @@ func (c *Cache) insert(rw *row, hash uint64, key packet.FlowKey, p *packet.Packe
 				res.Writes++
 			}
 		} else {
-			// Single buffer: victim goes straight to the ring.
+			// Single buffer — or a quick-demotion policy declining the
+			// cascade: the victim goes straight to the ring.
 			c.evictOccupied(rw, pIdx, res)
 		}
 	}
 	rw.buckets[pIdx] = newRec
 	res.Writes++
+	if c.fb.track {
+		c.fb.occupied.Add(1)
+	}
 	return &rw.buckets[pIdx]
 }
 
@@ -396,7 +433,11 @@ func (c *Cache) evictOccupied(rw *row, idx int, res *Result) {
 	res.Evicted = true
 }
 
-// pushRing delivers an evicted record to its ring, counting overflow drops.
+// pushRing delivers an evicted record to its ring, counting overflow
+// drops. It is the single choke point through which records leave the
+// table (insert cascades, forced Evicts, Alg.-3 cleanups), which is what
+// makes the feedback occupancy counter exact: +1 at the two insert
+// sites, -1 here.
 func (c *Cache) pushRing(out Record) {
 	ring := c.rings[out.Hash%uint64(len(c.rings))]
 	sh := c.stats.shard(out.Hash)
@@ -404,6 +445,12 @@ func (c *Cache) pushRing(out Record) {
 		sh.ringDrops.Add(1)
 	}
 	sh.evictions.Add(1)
+	if c.fb.track {
+		c.fb.occupied.Add(-1)
+		if out.Pinned {
+			c.fb.pinned.Add(-1)
+		}
+	}
 }
 
 // Lookup finds a record without updating it. The record is returned by
@@ -433,6 +480,15 @@ func (c *Cache) Unpin(key packet.FlowKey) bool { return c.setPinned(key, false) 
 func (c *Cache) setPinned(key packet.FlowKey, v bool) bool {
 	ok := false
 	c.UpdateState(key, func(rec *Record) {
+		if v && !rec.Pinned && c.fb.track {
+			// Pin-budget admission (adaptive controller feedback loop):
+			// refuse new pins once the live pinned population reaches the
+			// budget. 0 means unlimited — the seed behaviour.
+			if b := c.fb.pinBudget.Load(); b > 0 && c.fb.pinned.Load() >= b {
+				c.fb.pinRefused.Add(1)
+				return
+			}
+		}
 		rec.Pinned = v
 		ok = true
 	})
@@ -450,6 +506,20 @@ func (c *Cache) UpdateState(key packet.FlowKey, fn func(*Record)) bool {
 	for i := range rw.buckets {
 		rec := &rw.buckets[i]
 		if rec.occupied && rec.Hash == hash && rec.Key == key {
+			if c.fb.track {
+				// Track pin transitions regardless of which caller (Pin,
+				// Unpin, or a detector's fn) flips the bit.
+				was := rec.Pinned
+				fn(rec)
+				if rec.Pinned != was {
+					if rec.Pinned {
+						c.fb.pinned.Add(1)
+					} else {
+						c.fb.pinned.Add(-1)
+					}
+				}
+				return true
+			}
 			fn(rec)
 			return true
 		}

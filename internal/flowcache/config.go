@@ -13,7 +13,10 @@
 // cycles from the operation counts each call reports.
 package flowcache
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // Mode selects the active bucket layout (paper §3.3).
 type Mode uint32
@@ -77,9 +80,15 @@ type Config struct {
 	EvictionBuckets int
 	// LiteBuckets is the slice width b probed in Lite mode. Paper: 2.
 	LiteBuckets int
-	// PolicyP / PolicyE are the replacement policies of the two buffers
-	// (paper's winner: LRU in P, LPC in E).
+	// PolicyP / PolicyE are the per-buffer replacement comparators
+	// (paper's winner: LRU in P, LPC in E). They apply when Policy is
+	// empty; named policies override them.
 	PolicyP, PolicyE Policy
+	// Policy selects a named replacement policy: "lru-lpc" (the paper's
+	// hybrid, identical to the default comparator pair), "lru",
+	// "s3fifo", or any name registered via RegisterPolicy. Empty keeps
+	// the PolicyP/PolicyE comparator pair — the seed behaviour.
+	Policy string
 	// Rings is the number of eviction ring buffers. Paper: 8.
 	Rings int
 	// RingEntries is the capacity of each ring. Paper: 64K.
@@ -121,6 +130,13 @@ func (c Config) Validate() error {
 	}
 	if c.Rings < 1 || c.RingEntries < 1 {
 		return fmt.Errorf("flowcache: need at least one ring with capacity")
+	}
+	if c.PolicyP > FIFO || c.PolicyE > FIFO {
+		return fmt.Errorf("flowcache: unknown comparator policy (%d,%d); valid: lru=0 lpc=1 fifo=2", c.PolicyP, c.PolicyE)
+	}
+	if !validPolicyName(c.Policy) {
+		return fmt.Errorf("flowcache: unknown policy %q; known policies: %s",
+			c.Policy, strings.Join(KnownPolicies(), ", "))
 	}
 	return nil
 }

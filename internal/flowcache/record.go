@@ -26,7 +26,14 @@ type Record struct {
 	Pinned bool
 	// occupied marks a live entry.
 	occupied bool
+	// freq is the policy-owned access counter (S3-FIFO's 2-bit frequency,
+	// capped at s3fifoMaxFreq). It stays zero under the comparator
+	// policies — only policies that register reuse maintain it.
+	freq uint8
 }
+
+// Freq exposes the policy access counter (diagnostics and policy tests).
+func (r *Record) Freq() uint8 { return r.freq }
 
 // Occupied reports whether the slot holds a live record.
 func (r *Record) Occupied() bool { return r.occupied }

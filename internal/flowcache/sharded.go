@@ -50,6 +50,11 @@ func NewSharded(n int, cfg Config, ctlCfg ControllerConfig) *Sharded {
 	if cfg.RowBits-lg < 1 {
 		panic(fmt.Sprintf("flowcache: %d shards leave %d row bits (need >= 1)", n, cfg.RowBits-lg))
 	}
+	if err := ctlCfg.Validate(); err != nil {
+		// Validate the raw config before normalized() repairs it: the
+		// per-shard NewController only ever sees the resolved values.
+		panic(err)
+	}
 	s := &Sharded{
 		shards: make([]*Cache, n),
 		ctls:   make([]*Controller, n),

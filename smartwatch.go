@@ -113,6 +113,32 @@ func NewShardedFlowCache(shards int, cfg FlowCacheConfig, ctl FlowCacheControlle
 	return flowcache.NewSharded(shards, cfg, ctl)
 }
 
+// Replacement policies (DESIGN.md §11): FlowCacheConfig.Policy selects a
+// built-in by name; RegisterReplacementPolicy installs an out-of-tree one.
+const (
+	PolicyNameLRULPC = flowcache.PolicyNameLRULPC // seed pair: LRU in P, LPC in E (default)
+	PolicyNameLRU    = flowcache.PolicyNameLRU    // LRU in both buffers
+	PolicyNameS3FIFO = flowcache.PolicyNameS3FIFO // S3-FIFO adaptation: quick demotion + freq aging
+)
+
+// ReplacementPolicy picks eviction victims inside one row segment; see
+// flowcache.RegisterPolicy for the contract.
+type ReplacementPolicy = flowcache.ReplacementPolicy
+
+// RegisterReplacementPolicy installs a custom policy under name, usable
+// from FlowCacheConfig.Policy. Panics on duplicate or built-in names.
+func RegisterReplacementPolicy(name string, factory func(FlowCacheConfig) ReplacementPolicy) {
+	flowcache.RegisterPolicy(name, factory)
+}
+
+// AdaptiveControllerConfig enables the self-tuning feedback loop on the
+// mode controllers (FlowCacheControllerConfig.Adaptive, DESIGN.md §11.3).
+type AdaptiveControllerConfig = flowcache.AdaptiveConfig
+
+// ControllerState is a controller's live tuning state (effective
+// thresholds, scale/gap/pin knobs) as exported per shard in metrics.
+type ControllerState = flowcache.ControllerState
+
 // Observability ---------------------------------------------------------------
 
 // MetricsRegistry is the platform's metrics tree (DESIGN.md §10). Set one
