@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race shards policies check bench profile experiments metrics-smoke clean
+.PHONY: all build vet test race shards policies check bench profile experiments metrics-smoke serve-smoke clean
 
 all: check
 
@@ -23,14 +23,15 @@ test:
 race:
 	$(GO) test -race -short ./internal/flowcache/ ./internal/snic/ ./internal/core/ ./internal/experiments/ ./internal/packet/
 
-# Shard-determinism gate (DESIGN.md §8.4, §9): the sharded FlowCache, the
-# tier pipeline, the event bus and the batched datapath under the race
-# detector — parallel replay must reproduce sequential state, the tiered
-# platform must match legacy, and every batch size must be byte-identical
-# to the per-packet drive.
+# Shard-determinism gate (DESIGN.md §8.4, §9, §12): the sharded FlowCache,
+# the tier pipeline, the event bus, the batched datapath and the session
+# lifecycle under the race detector — parallel replay must reproduce
+# sequential state, the tiered platform must match legacy, every batch
+# size must be byte-identical to the per-packet drive, and the session
+# control plane must be race-free against a live ingest.
 shards:
 	$(GO) vet ./...
-	$(GO) test -race -run 'Shard|Bus|Pipeline|Event|TierPipeline|AtomicCounts|Batch' ./internal/flowcache/ ./internal/tier/ ./internal/core/
+	$(GO) test -race -run 'Shard|Bus|Pipeline|Event|TierPipeline|AtomicCounts|Batch|Session' ./internal/flowcache/ ./internal/tier/ ./internal/core/
 
 # Replacement-policy / adaptive-controller gate (DESIGN.md §11): golden
 # LRU-LPC extraction, policy divergence + determinism, controller
@@ -70,6 +71,13 @@ metrics-smoke:
 		$(GO) run ./cmd/metricscheck -min-snapshots 2 \
 			-require packets.total,flowcache.occupancy,snic.processed,host.flush.count
 	rm -f $(SMOKE_PCAP)
+
+# Daemon smoke (DESIGN.md §12.3): start `smartwatch -serve` tailing a
+# fixture pcap, drive the control API (pause/resume, whitelist/blacklist,
+# snapshot, live /metrics), SIGTERM, then assert a clean drain and a
+# valid metrics stream via cmd/metricscheck.
+serve-smoke:
+	sh scripts/serve_smoke.sh
 
 clean:
 	rm -f BENCH_dev.json

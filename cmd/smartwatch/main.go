@@ -34,34 +34,32 @@ import (
 
 func main() {
 	var (
-		in         = flag.String("in", "", "input pcap trace (required)")
-		useSwitch  = flag.Bool("switch", false, "enable the P4 switch tier (coarse queries + steering)")
-		detectors  = flag.String("detectors", "ssh,portscan,rst,incomplete,dns,worm,ssl", "comma-separated detectors: ssh,ftp,kerberos,portscan,rst,incomplete,dns,worm,ssl,microburst")
-		intervalMs = flag.Int("interval", 100, "monitoring interval (virtual ms)")
-		rowBits    = flag.Int("rowbits", 14, "FlowCache rows = 2^rowbits (x12 buckets)")
-		shards     = flag.Int("shards", 1, "FlowCache shards (power of two; capacity is split, not multiplied)")
-		batch      = flag.Int("batch", 1, "ingest batch size (vectors of this many packets; 1 = per-packet drive)")
-		policy     = flag.String("policy", "", "FlowCache replacement policy: lru-lpc (default), lru, s3fifo")
-		adaptive   = flag.Bool("adaptive", false, "self-tuning mode controllers (metrics-driven threshold + pin-budget feedback)")
-		verbose    = flag.Bool("v", false, "print every alert")
-		ipfixOut   = flag.String("ipfix", "", "export the flow log as IPFIX to this file")
-		emitP4     = flag.String("emit-p4", "", "write the switch query set as a P4-16 program to this file (requires -switch)")
-		metricsOut = flag.String("metrics", "", "emit a JSON-lines metrics snapshot each interval to this file (- for stdout)")
-		expvarAddr = flag.String("expvar", "", "serve live metrics over HTTP at this address (/debug/vars, /metrics, /debug/pprof); blocks after the run until interrupted")
+		in          = flag.String("in", "", "input pcap trace (required unless -gen)")
+		useSwitch   = flag.Bool("switch", false, "enable the P4 switch tier (coarse queries + steering)")
+		detectors   = flag.String("detectors", "ssh,portscan,rst,incomplete,dns,worm,ssl", "comma-separated detectors: ssh,ftp,kerberos,portscan,rst,incomplete,dns,worm,ssl,microburst")
+		intervalMs  = flag.Int("interval", 100, "monitoring interval (virtual ms)")
+		rowBits     = flag.Int("rowbits", 14, "FlowCache rows = 2^rowbits (x12 buckets)")
+		shards      = flag.Int("shards", 1, "FlowCache shards (power of two; capacity is split, not multiplied)")
+		batch       = flag.Int("batch", 1, "ingest batch size (vectors of this many packets; 1 = per-packet drive)")
+		policy      = flag.String("policy", "", "FlowCache replacement policy: lru-lpc (default), lru, s3fifo")
+		adaptive    = flag.Bool("adaptive", false, "self-tuning mode controllers (metrics-driven threshold + pin-budget feedback)")
+		verbose     = flag.Bool("v", false, "print every alert")
+		ipfixOut    = flag.String("ipfix", "", "export the flow log as IPFIX to this file")
+		emitP4      = flag.String("emit-p4", "", "write the switch query set as a P4-16 program to this file (requires -switch)")
+		metricsOut  = flag.String("metrics", "", "emit a JSON-lines metrics snapshot each interval to this file (- for stdout)")
+		expvarAddr  = flag.String("expvar", "", "serve live metrics over HTTP at this address (/debug/vars, /metrics, /debug/pprof), updated at every interval close during the run; in batch mode the server keeps running after the run until interrupted")
+		serve       = flag.Bool("serve", false, "daemon mode: stream from the source through a lifecycle session, expose the /control API on the -expvar server, drain gracefully on SIGTERM")
+		follow      = flag.Bool("follow", false, "tail -in as a growing pcap (tolerates partial trailing records; -serve)")
+		gen         = flag.String("gen", "", "synthetic source instead of -in: caida2015|caida2016|caida2018|caida2019|dc")
+		genRepeat   = flag.Int("gen-repeat", -1, "generator laps, timestamps shifted per lap (-1 = until drained; -serve)")
+		genRate     = flag.Float64("gen-rate", 0, "wall-clock pacing for -gen in packets/sec (0 = as fast as consumed)")
+		genMax      = flag.Int64("gen-max", 0, "stop the generator after this many packets (0 = unbounded)")
+		kvRetention = flag.Int("kv-retention", 0, "keep at most N flow-log intervals resident (0 = unbounded; -serve defaults to 64 to bound the heap)")
 	)
 	flag.Parse()
-	if *in == "" {
+	if *in == "" && *gen == "" {
 		flag.Usage()
 		os.Exit(2)
-	}
-	f, err := os.Open(*in)
-	if err != nil {
-		fatal(err)
-	}
-	defer f.Close()
-	r, err := pcap.NewReader(f)
-	if err != nil {
-		fatal(err)
 	}
 
 	dets, err := buildDetectors(*detectors)
@@ -92,7 +90,7 @@ func main() {
 		cfg.Queries = defaultQueries()
 	}
 	var metricsFile *os.File
-	if *metricsOut != "" || *expvarAddr != "" {
+	if *metricsOut != "" || *expvarAddr != "" || *serve {
 		cfg.Metrics = obs.NewRegistry()
 	}
 	switch *metricsOut {
@@ -106,17 +104,112 @@ func main() {
 		}
 		cfg.MetricsWriter = metricsFile
 	}
+
+	if *serve {
+		// Daemon mode: build the source, bound the in-memory flow log,
+		// mount the control API next to the expvar/metrics endpoints, and
+		// stream until drained.
+		if *kvRetention == 0 {
+			*kvRetention = 64
+		}
+		addr := *expvarAddr
+		if addr == "" {
+			addr = "127.0.0.1:9090"
+		}
+		src, err := buildSource(*in, *follow, *gen, *genRepeat, *genRate, *genMax)
+		if err != nil {
+			fatal(err)
+		}
+		pl := core.New(cfg)
+		pl.KV().SetRetention(*kvRetention)
+		chunk := 512
+		if cfg.BatchSize > 1 {
+			chunk = ((chunk + cfg.BatchSize - 1) / cfg.BatchSize) * cfg.BatchSize
+		}
+		d := newDaemon(pl, src, chunk)
+		d.registerControlAPI()
+		if err := serveExpvar(addr, cfg.Metrics); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "smartwatch: serving control API at http://%s/control/status (SIGTERM to drain)\n", addr)
+		rep, err := d.run()
+		if err != nil {
+			fatal(err)
+		}
+		printReport(pl, rep, *verbose)
+		finishOutputs(pl, *ipfixOut, *emitP4, metricsFile, *metricsOut)
+		return
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	r, err := pcap.NewReader(f)
+	if err != nil {
+		fatal(err)
+	}
 	if *expvarAddr != "" {
 		if err := serveExpvar(*expvarAddr, cfg.Metrics); err != nil {
 			fatal(err)
 		}
 	}
 	pl := core.New(cfg)
+	if *kvRetention > 0 {
+		pl.KV().SetRetention(*kvRetention)
+	}
 
 	// Buffered moves pcap decoding to its own goroutine so trace reading
 	// overlaps platform replay (order-preserving, batched handoff).
 	rep := pl.Run(packet.Buffered(pcap.ReadStream(r), 512))
 
+	printReport(pl, rep, *verbose)
+	if skipped := r.Skipped(); skipped > 0 {
+		fmt.Fprintf(os.Stderr, "note: %d undecodable frames skipped\n", skipped)
+	}
+
+	finishOutputs(pl, *ipfixOut, *emitP4, metricsFile, *metricsOut)
+	if *expvarAddr != "" {
+		fmt.Fprintf(os.Stderr, "expvar: serving final metrics at http://%s/debug/vars (Ctrl-C to exit)\n", *expvarAddr)
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt)
+		<-ch
+	}
+}
+
+// buildSource assembles the daemon's packet source: whole-file pcap,
+// growing-pcap tail, or the synthetic generator.
+func buildSource(in string, follow bool, gen string, repeat int, rate float64, maxPkts int64) (packet.Source, error) {
+	if gen != "" {
+		var wl *trace.Workload
+		switch gen {
+		case "caida2015":
+			wl = trace.CAIDA(2015)
+		case "caida2016":
+			wl = trace.CAIDA(2016)
+		case "caida2018":
+			wl = trace.CAIDA(2018)
+		case "caida2019":
+			wl = trace.CAIDA(2019)
+		case "dc":
+			wl = trace.WisconsinDC()
+		default:
+			return nil, fmt.Errorf("unknown -gen preset %q", gen)
+		}
+		return trace.NewSource(trace.SourceConfig{
+			Workload: wl.Config(), Repeat: repeat, WallRate: rate, MaxPackets: maxPkts,
+		}), nil
+	}
+	if follow {
+		return pcap.FollowFile(in, pcap.FollowConfig{})
+	}
+	return pcap.OpenFile(in)
+}
+
+// printReport renders the end-of-run summary (both batch and daemon
+// modes).
+func printReport(pl *core.Platform, rep core.Report, verbose bool) {
 	fmt.Printf("packets: total=%d forwarded-direct=%d to-snic=%d to-host=%d blocked=%d dropped-at-switch=%d\n",
 		rep.Counts.Total, rep.Counts.ForwardedDirect, rep.Counts.ToSNIC,
 		rep.Counts.ToHost, rep.Counts.Blocked, rep.Counts.DroppedAtSwitch)
@@ -134,19 +227,20 @@ func main() {
 	byDet := map[string]int{}
 	for _, a := range rep.Alerts {
 		byDet[a.Detector]++
-		if *verbose {
+		if verbose {
 			fmt.Println("  ", a)
 		}
 	}
 	for name, n := range byDet {
 		fmt.Printf("  %-20s %d\n", name, n)
 	}
-	if skipped := r.Skipped(); skipped > 0 {
-		fmt.Fprintf(os.Stderr, "note: %d undecodable frames skipped\n", skipped)
-	}
+}
 
-	if *ipfixOut != "" {
-		out, err := os.Create(*ipfixOut)
+// finishOutputs writes the optional export artifacts and closes the
+// metrics file, failing hard on any error so CI catches broken runs.
+func finishOutputs(pl *core.Platform, ipfixOut, emitP4 string, metricsFile *os.File, metricsOut string) {
+	if ipfixOut != "" {
+		out, err := os.Create(ipfixOut)
 		if err != nil {
 			fatal(err)
 		}
@@ -157,9 +251,9 @@ func main() {
 		if err := out.Close(); err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "flow log exported as IPFIX to %s\n", *ipfixOut)
+		fmt.Fprintf(os.Stderr, "flow log exported as IPFIX to %s\n", ipfixOut)
 	}
-	if *emitP4 != "" {
+	if emitP4 != "" {
 		if pl.Switch() == nil {
 			fatal(fmt.Errorf("-emit-p4 requires -switch"))
 		}
@@ -167,10 +261,10 @@ func main() {
 		for _, e := range pl.Switch().ControlPlaneEntries() {
 			src += "// " + e + "\n"
 		}
-		if err := os.WriteFile(*emitP4, []byte(src), 0o644); err != nil {
+		if err := os.WriteFile(emitP4, []byte(src), 0o644); err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "P4 program written to %s\n", *emitP4)
+		fmt.Fprintf(os.Stderr, "P4 program written to %s\n", emitP4)
 	}
 	if err := pl.MetricsErr(); err != nil {
 		fatal(fmt.Errorf("metrics emit: %w", err))
@@ -179,13 +273,7 @@ func main() {
 		if err := metricsFile.Close(); err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "metrics snapshots written to %s\n", *metricsOut)
-	}
-	if *expvarAddr != "" {
-		fmt.Fprintf(os.Stderr, "expvar: serving final metrics at http://%s/debug/vars (Ctrl-C to exit)\n", *expvarAddr)
-		ch := make(chan os.Signal, 1)
-		signal.Notify(ch, os.Interrupt)
-		<-ch
+		fmt.Fprintf(os.Stderr, "metrics snapshots written to %s\n", metricsOut)
 	}
 }
 

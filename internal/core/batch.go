@@ -26,14 +26,22 @@
 package core
 
 import (
+	"iter"
+
 	"smartwatch/internal/packet"
 	"smartwatch/internal/tier"
 )
 
-// batchedFilter is the vectorised twin of Run's per-packet filtered
+// batchedFilter is the vectorised twin of the per-packet filtered
 // stream: it yields exactly the packets the per-packet drive would yield,
-// in the same order, with identical side effects on the platform.
-func (pl *Platform) batchedFilter(s packet.Stream) packet.Stream {
+// in the same order, with identical side effects on the platform. It
+// consumes pre-chunked vectors (the session re-chunks its ingest to exact
+// BatchSize boundaries with rechunk, reproducing the vector boundaries
+// packet.BufferedBatches used to produce here) so that the entire pull
+// chain — source, chunking, filtering, engine — runs synchronously on the
+// one drive goroutine; that is what makes Session.Exec's packet-boundary
+// control ops race-free.
+func (pl *Platform) batchedFilter(vecs iter.Seq[[]packet.Packet]) packet.Stream {
 	return func(yield func(packet.Packet) bool) {
 		size := pl.cfg.BatchSize
 		ctxStore := make([]tier.Context, size)
@@ -41,7 +49,7 @@ func (pl *Platform) batchedFilter(s packet.Stream) packet.Stream {
 		for i := range ctxs {
 			ctxs[i] = &ctxStore[i]
 		}
-		for batch := range packet.BufferedBatches(s, size) {
+		for batch := range vecs {
 			for lo := 0; lo < len(batch); {
 				// Fire timers due at the sub-batch head FIRST, then bound
 				// the sub-batch below the next timer so nothing can fire
@@ -127,6 +135,61 @@ func (pl *Platform) batchedFilter(s packet.Stream) packet.Stream {
 				flush()
 				lo = hi
 			}
+		}
+	}
+}
+
+// flatten unrolls ingested vectors into the per-packet stream the
+// unbatched and legacy filters consume. Synchronous: the caller's
+// goroutine is the only one that ever touches the vectors.
+func flatten(vecs iter.Seq[[]packet.Packet]) packet.Stream {
+	return func(yield func(packet.Packet) bool) {
+		for b := range vecs {
+			for i := range b {
+				if !yield(b[i]) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// rechunk re-vectors an ingest sequence to exact size boundaries,
+// reproducing packet.BufferedBatches' vector shape (every yielded vector
+// holds exactly size packets except possibly the last) without a producer
+// goroutine. Aligned input vectors — the common case, since the one-shot
+// Run wrapper ingests in multiples of BatchSize — are subsliced in place;
+// stragglers accumulate in a carry buffer. Yielded vectors are only valid
+// until the next iteration, same contract as BufferedBatches.
+func rechunk(vecs iter.Seq[[]packet.Packet], size int) iter.Seq[[]packet.Packet] {
+	return func(yield func([]packet.Packet) bool) {
+		carry := make([]packet.Packet, 0, size)
+		for b := range vecs {
+			if len(carry) > 0 {
+				n := size - len(carry)
+				if n > len(b) {
+					n = len(b)
+				}
+				carry = append(carry, b[:n]...)
+				b = b[n:]
+				if len(carry) < size {
+					continue
+				}
+				if !yield(carry) {
+					return
+				}
+				carry = carry[:0]
+			}
+			for len(b) >= size {
+				if !yield(b[:size]) {
+					return
+				}
+				b = b[size:]
+			}
+			carry = append(carry, b...)
+		}
+		if len(carry) > 0 {
+			yield(carry)
 		}
 	}
 }

@@ -18,6 +18,7 @@ package core
 
 import (
 	"io"
+	"iter"
 	"sync/atomic"
 
 	"smartwatch/internal/container"
@@ -128,11 +129,18 @@ type Platform struct {
 	counts       atomicCounts
 
 	// metrics / emitter implement the observability layer (nil when
-	// Config.Metrics is unset); engine is the current Run's simulator,
-	// kept so the metrics collector can sample live datapath counters.
+	// Config.Metrics is unset); engine is the platform's sNIC simulator,
+	// constructed once in New so thread-heap and dispatch state persist
+	// across drives (segmented runs equal one-shot runs) and so the
+	// metrics collector can sample live datapath counters at any time.
 	metrics *obs.Registry
 	emitter *obs.Emitter
 	engine  *snic.Engine
+
+	// session / sessionBusy track the at-most-one live streaming session
+	// (session.go); Run is itself a session internally.
+	session     *Session
+	sessionBusy atomic.Bool
 }
 
 // Counts aggregates platform-level packet accounting.
@@ -218,6 +226,15 @@ func New(cfg Config) *Platform {
 	pl.flusher = &host.Flusher{Store: pl.store, Ports: pl.ports, KV: pl.kv, Rings: pl.cache.Rings()}
 	pl.nextInterval = cfg.IntervalNs
 	pl.nextTick = cfg.TickNs
+	handler := pl.tierHandler
+	if cfg.LegacyPipeline {
+		handler = pl.legacyHandler
+	}
+	// The engine lives as long as the platform: sequential drives continue
+	// from its thread-heap/dispatch state exactly as they continue from the
+	// FlowCache, so a trace split across segments reproduces the one-shot
+	// drive (TestSegmentedRunMatchesOneShot).
+	pl.engine = snic.New(cfg.SNIC, handler)
 	if !cfg.LegacyPipeline {
 		pl.wireBus()
 		pl.buildPipelines()
@@ -354,9 +371,19 @@ func (pl *Platform) endInterval(ts int64) {
 	seq := pl.counts.intervals.Add(1)
 	if pl.cfg.LegacyPipeline {
 		pl.legacyEndInterval(ts)
+		if pl.session != nil {
+			pl.session.captureSnapshot(ts, seq)
+		}
 		return
 	}
 	pl.bus.Publish(tier.IntervalEvent{Ts: ts, Seq: seq})
+	// Capture the session's live delta snapshot after every interval
+	// subscriber (switch steer, host flush, metrics emit) has run, still on
+	// the drive goroutine. Pure read + atomic publish: no observable state
+	// changes, so the one-shot Run wrapper stays byte-identical.
+	if pl.session != nil {
+		pl.session.captureSnapshot(ts, seq)
+	}
 }
 
 // ingestStage opens the wire-side pipeline: platform accounting and
@@ -491,26 +518,47 @@ type Report struct {
 }
 
 // Run replays the stream through the full platform and returns the
-// report. Each call continues from the platform's current state, so
+// report. Each call continues from the platform's current state (the
+// FlowCache, the sNIC engine's thread heap, the flow log), so
 // multi-interval experiments can call Run repeatedly with consecutive
 // trace segments. Each Run ends with a flow-log flush that snapshots the
 // records still resident in the FlowCache under that flush's interval
 // timestamp; per-interval analytics are exact, and the final flush of a
 // monitoring session is the authoritative lossless aggregate.
+//
+// Since the session refactor (DESIGN.md §12) Run is a thin wrapper over a
+// Session: it starts one, feeds the stream through Ingest in recycled
+// vectors, and drains. With no Exec calls in flight this is byte-identical
+// to the pre-session drive — the determinism suite holds it to that.
 func (pl *Platform) Run(s packet.Stream) Report {
-	handler := pl.tierHandler
-	if pl.cfg.LegacyPipeline {
-		handler = pl.legacyHandler
+	ses := pl.NewSession()
+	if err := ses.Start(); err != nil {
+		panic(err)
 	}
-	engine := snic.New(pl.cfg.SNIC, handler)
-	pl.engine = engine
+	if err := ses.IngestStream(s, 0); err != nil {
+		panic(err)
+	}
+	rep, err := ses.Drain()
+	if err != nil {
+		panic(err)
+	}
+	return rep
+}
+
+// driveBatches is the drive path shared by Run and Session: it feeds the
+// ingested vectors through the configured filter chain into the sNIC
+// engine and performs the end-of-drive tail (accumulator flush, final
+// interval close, lossless flow-log flush, report assembly). It runs
+// entirely on the session's drive goroutine.
+func (pl *Platform) driveBatches(vecs iter.Seq[[]packet.Packet]) Report {
 	var filtered packet.Stream
 	switch {
 	case pl.cfg.LegacyPipeline:
-		filtered = pl.legacyFilter(s)
+		filtered = pl.legacyFilter(flatten(vecs))
 	case pl.cfg.BatchSize > 1:
-		filtered = pl.batchedFilter(s)
+		filtered = pl.batchedFilter(rechunk(vecs, pl.cfg.BatchSize))
 	default:
+		s := flatten(vecs)
 		filtered = func(yield func(packet.Packet) bool) {
 			ctx := &pl.wireCtx
 			for p := range s {
@@ -530,7 +578,7 @@ func (pl *Platform) Run(s packet.Stream) Report {
 			}
 		}
 	}
-	rep := engine.Run(filtered)
+	rep := pl.engine.Run(filtered)
 	// The batched drive flushes its accumulator at every sub-batch end;
 	// this covers an engine that stopped pulling mid-vector.
 	pl.cache.FlushAcc(&pl.batchAcc)

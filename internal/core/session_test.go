@@ -1,0 +1,448 @@
+package core
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"smartwatch/internal/obs"
+	"smartwatch/internal/packet"
+	"smartwatch/internal/snic"
+	"smartwatch/internal/tier"
+	"smartwatch/internal/trace"
+)
+
+// sessionIngest drives a collected trace through a session in vectors of
+// chunk packets and drains, failing the test on any lifecycle error.
+func sessionIngest(t *testing.T, pl *Platform, pkts []packet.Packet, chunk int) Report {
+	t.Helper()
+	ses := pl.NewSession()
+	if err := ses.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for lo := 0; lo < len(pkts); lo += chunk {
+		hi := lo + chunk
+		if hi > len(pkts) {
+			hi = len(pkts)
+		}
+		if err := ses.Ingest(pkts[lo:hi]); err != nil {
+			t.Fatalf("Ingest[%d:%d]: %v", lo, hi, err)
+		}
+	}
+	rep, err := ses.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestChunkedIngestMatchesRun extends the PR 3 determinism sweep to the
+// session path (ISSUE 7 satellite): the same trace driven as one stream
+// through Run and as N Ingest chunks through a Session must produce
+// byte-identical final Reports, flow logs and metrics snapshot streams at
+// every BatchSize × Shards combination. Chunk sizes are chosen to be
+// misaligned with every batch size so the re-chunker's carry path is
+// exercised, plus chunk=1 (one Ingest round-trip per packet).
+func TestChunkedIngestMatchesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-platform sweep; session lifecycle covered by -short tests")
+	}
+	pkts := packet.Collect(mixedStream())
+	for _, shards := range []int{1, 4} {
+		for _, batch := range []int{1, 64} {
+			mk := func() (*Platform, *bytes.Buffer) {
+				var buf bytes.Buffer
+				cfg := fullConfig(false, shards)
+				cfg.BatchSize = batch
+				cfg.Metrics = obs.NewRegistry()
+				cfg.MetricsWriter = &buf
+				return New(cfg), &buf
+			}
+			base, baseBuf := mk()
+			baseRep := base.Run(mixedStream())
+			want := canonicalDump(base, baseRep) + kvDump(base)
+
+			for _, chunk := range []int{1, 509, 4096} {
+				pl, buf := mk()
+				rep := sessionIngest(t, pl, pkts, chunk)
+				if got := canonicalDump(pl, rep) + kvDump(pl); got != want {
+					t.Errorf("shards=%d batch=%d chunk=%d: session diverged from Run:\n%s",
+						shards, batch, chunk, firstDiffLine(want, got))
+				}
+				if !bytes.Equal(baseBuf.Bytes(), buf.Bytes()) {
+					t.Errorf("shards=%d batch=%d chunk=%d: metrics lines diverged:\n%s",
+						shards, batch, chunk, firstDiffLine(baseBuf.String(), buf.String()))
+				}
+			}
+		}
+	}
+}
+
+// splitAtIntervalCrossings cuts the trace at the first packet whose
+// timestamp reaches each boundary, so a segment ends exactly where the
+// one-shot drive would close the interval anyway.
+func splitAtIntervalCrossings(pkts []packet.Packet, boundaries ...int64) [][]packet.Packet {
+	var segs [][]packet.Packet
+	lo := 0
+	for _, b := range boundaries {
+		hi := lo
+		for hi < len(pkts) && pkts[hi].Ts < b {
+			hi++
+		}
+		segs = append(segs, pkts[lo:hi])
+		lo = hi
+	}
+	return append(segs, pkts[lo:])
+}
+
+// TestSegmentedRunMatchesOneShot is the engine-hoist golden (ISSUE 7
+// satellite): snic.New moved from Platform.Run into New, so the engine's
+// thread-heap and dispatch state persist across drives and a trace split
+// into sequential Run calls reproduces the one-shot drive's datapath
+// exactly. The proof is per-packet: an SNIC observer records every
+// (timestamp, modelled latency) pair, and the segmented trace must equal
+// the one-shot trace float-for-float — any reconstructed engine state
+// (idle dispatch port, cold thread heap) would shift the very first
+// latencies of a later segment. Segments are split at interval-boundary
+// crossings, where the per-Run drive tail (forced interval close + final
+// flow-log flush) performs exactly the interval work the one-shot drive
+// performs at the same virtual time; the flow log legitimately gains the
+// per-segment final-flush snapshots (documented Run semantics), so the
+// comparison covers the datapath trace, counts and alerts, not the KV.
+func TestSegmentedRunMatchesOneShot(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-platform golden; engine persistence covered by session tests in -short runs")
+	}
+	pkts := packet.Collect(mixedStream())
+
+	type obsPoint struct {
+		ts  int64
+		lat float64
+	}
+	mk := func(sink *[]obsPoint) *Platform {
+		cfg := fullConfig(false, 1)
+		cfg.SNIC = snic.DefaultConfig()
+		cfg.SNIC.Observer = func(p *packet.Packet, latencyNs float64) {
+			*sink = append(*sink, obsPoint{p.Ts, latencyNs})
+		}
+		return New(cfg)
+	}
+
+	var oneTrace []obsPoint
+	one := mk(&oneTrace)
+	oneRep := one.Run(packet.StreamOf(pkts))
+
+	var segTrace []obsPoint
+	seg := mk(&segTrace)
+	var lastRep Report
+	var segProcessed, segDropped uint64
+	segs := splitAtIntervalCrossings(pkts, 100e6, 200e6, 300e6)
+	if len(segs) != 4 {
+		t.Fatalf("expected 4 segments, got %d", len(segs))
+	}
+	for i, s := range segs {
+		if len(s) == 0 {
+			t.Fatalf("segment %d empty; split boundaries outside trace span", i)
+		}
+		lastRep = seg.Run(packet.StreamOf(s))
+		segProcessed += lastRep.SNIC.Processed
+		segDropped += lastRep.SNIC.Dropped
+	}
+
+	if len(segTrace) != len(oneTrace) {
+		t.Fatalf("observer trace lengths: segmented %d, one-shot %d", len(segTrace), len(oneTrace))
+	}
+	for i := range oneTrace {
+		if segTrace[i] != oneTrace[i] {
+			t.Fatalf("datapath diverged at packet %d: segmented (ts=%d lat=%v), one-shot (ts=%d lat=%v)",
+				i, segTrace[i].ts, segTrace[i].lat, oneTrace[i].ts, oneTrace[i].lat)
+		}
+	}
+	if segProcessed != oneRep.SNIC.Processed || segDropped != oneRep.SNIC.Dropped {
+		t.Errorf("engine totals: segmented processed=%d dropped=%d, one-shot processed=%d dropped=%d",
+			segProcessed, segDropped, oneRep.SNIC.Processed, oneRep.SNIC.Dropped)
+	}
+	// Counts are cumulative platform state and must line up exactly,
+	// including the interval count: the forced close at each segment tail
+	// happens at the same boundary the one-shot drive closes at.
+	if lastRep.Counts != oneRep.Counts {
+		t.Errorf("counts diverged:\nsegmented %+v\n one-shot %+v", lastRep.Counts, oneRep.Counts)
+	}
+	if len(lastRep.Alerts) != len(oneRep.Alerts) {
+		t.Fatalf("alert counts: segmented %d, one-shot %d", len(lastRep.Alerts), len(oneRep.Alerts))
+	}
+	for i := range oneRep.Alerts {
+		if lastRep.Alerts[i].String() != oneRep.Alerts[i].String() {
+			t.Errorf("alert[%d] differs: %s vs %s", i, lastRep.Alerts[i], oneRep.Alerts[i])
+		}
+	}
+	if oneRep.SNIC.Processed == 0 || len(oneTrace) == 0 {
+		t.Fatal("workload produced no processed packets; golden vacuous")
+	}
+}
+
+// smallWorkload is a fast stream for lifecycle tests (~100k packets).
+func smallWorkload() packet.Stream {
+	return trace.NewWorkload(trace.WorkloadConfig{
+		Seed: 21, Flows: 200, PacketRate: 1e6, Duration: 1e8,
+	}).Stream()
+}
+
+func TestSessionLifecycle(t *testing.T) {
+	pl := New(Config{IntervalNs: 20e6})
+	ses := pl.NewSession()
+
+	if got := ses.State(); got != SessionIdle {
+		t.Fatalf("new session state = %v", got)
+	}
+	if err := ses.Ingest([]packet.Packet{{}}); err != ErrSessionState {
+		t.Fatalf("Ingest before Start = %v, want ErrSessionState", err)
+	}
+	if err := ses.Exec(func(*Platform) {}); err != ErrSessionState {
+		t.Fatalf("Exec before Start = %v, want ErrSessionState", err)
+	}
+	if _, err := ses.Drain(); err != ErrSessionState {
+		t.Fatalf("Drain before Start = %v, want ErrSessionState", err)
+	}
+	if _, ok := ses.Report(); ok {
+		t.Fatal("Report before drain should be absent")
+	}
+
+	if err := ses.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if got := ses.State(); got != SessionRunning {
+		t.Fatalf("state after Start = %v", got)
+	}
+	if err := ses.Start(); err != ErrSessionState {
+		t.Fatalf("second Start = %v, want ErrSessionState", err)
+	}
+	// One platform drives at most one session at a time.
+	other := pl.NewSession()
+	if err := other.Start(); err != ErrSessionActive {
+		t.Fatalf("concurrent session Start = %v, want ErrSessionActive", err)
+	}
+
+	if snap := ses.Snapshot(); snap != nil {
+		t.Fatalf("Snapshot before any interval close = %+v, want nil", snap)
+	}
+	if err := ses.IngestStream(smallWorkload(), 0); err != nil {
+		t.Fatal(err)
+	}
+	if ses.Ingested() == 0 {
+		t.Fatal("Ingested() did not advance")
+	}
+	snap := ses.Snapshot()
+	if snap == nil || snap.Seq == 0 {
+		t.Fatalf("no interval snapshot after a 5-interval trace: %+v", snap)
+	}
+	if snap.TsNs%20e6 != 0 {
+		t.Errorf("snapshot ts %d not an interval boundary", snap.TsNs)
+	}
+	if snap.Counts.Total < snap.CountsDelta.Total {
+		t.Errorf("cumulative %d < delta %d", snap.Counts.Total, snap.CountsDelta.Total)
+	}
+
+	rep, err := ses.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ses.State(); got != SessionDone {
+		t.Fatalf("state after Drain = %v", got)
+	}
+	if rep.Counts.Total != ses.Ingested() {
+		t.Errorf("report total %d != ingested %d", rep.Counts.Total, ses.Ingested())
+	}
+	// The drain tail closes the final interval; the snapshot reflects it.
+	final := ses.Snapshot()
+	if final == nil || final.Seq < snap.Seq {
+		t.Errorf("final snapshot seq %v regressed from %d", final, snap.Seq)
+	}
+	if rep2, ok := ses.Report(); !ok || rep2.Counts != rep.Counts {
+		t.Errorf("Report() after drain = (%+v, %v)", rep2.Counts, ok)
+	}
+	// Drain on a done session returns the cached report.
+	if rep3, err := ses.Drain(); err != nil || rep3.Counts != rep.Counts {
+		t.Errorf("second Drain = (%+v, %v)", rep3.Counts, err)
+	}
+	if err := ses.Ingest([]packet.Packet{{}}); err != ErrSessionClosed {
+		t.Fatalf("Ingest after Drain = %v, want ErrSessionClosed", err)
+	}
+	if err := ses.Exec(func(*Platform) {}); err != ErrSessionClosed {
+		t.Fatalf("Exec after Drain = %v, want ErrSessionClosed", err)
+	}
+	if err := ses.Close(); err != nil {
+		t.Fatalf("Close after Drain = %v", err)
+	}
+
+	// The platform is free again: a new session continues from accumulated
+	// state, exactly as sequential Run calls do.
+	next := pl.NewSession()
+	if err := next.Start(); err != nil {
+		t.Fatalf("session after drain: %v", err)
+	}
+	if err := next.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Closing an idle session retires it without running.
+	idle := pl.NewSession()
+	if err := idle.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := idle.Start(); err != ErrSessionState {
+		t.Fatalf("Start after Close = %v, want ErrSessionState", err)
+	}
+}
+
+// TestSessionExecSafePoint: control closures run at packet boundaries on
+// the drive goroutine and may publish bus events — the operator plane's
+// whitelist install path.
+func TestSessionExecSafePoint(t *testing.T) {
+	cfg := fullConfig(false, 1)
+	pl := New(cfg)
+	ses := pl.NewSession()
+	if err := ses.Start(); err != nil {
+		t.Fatal(err)
+	}
+	key := packet.FiveTuple{
+		SrcIP: packet.MustParseAddr("10.0.0.1"), SrcPort: 2000,
+		DstIP: packet.MustParseAddr("10.0.0.2"), DstPort: 80,
+		Proto: packet.ProtoTCP,
+	}.Canonical()
+	if err := ses.Exec(func(pl *Platform) {
+		pl.Bus().Publish(tier.WhitelistEvent{Key: key, Origin: "test"})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var entries []packet.FlowKey
+	if err := ses.Exec(func(pl *Platform) {
+		entries = pl.Switch().WhitelistEntries()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range entries {
+		if e == key {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("whitelist entry %v not installed via Exec; entries=%v", key, entries)
+	}
+	// The whitelisted flow now takes the switch fast path.
+	if err := ses.IngestStream(smallWorkload(), 0); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ses.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Events.PublishedFor(tier.KindWhitelist) == 0 {
+		t.Error("whitelist publish not accounted on the bus")
+	}
+}
+
+// TestSessionConcurrentObservers pins the advertised concurrency
+// contract under the race detector: Snapshot/State/Ingested from any
+// goroutine, Exec interleaved with a live ingest, then a drain racing a
+// straggler Ingest.
+func TestSessionConcurrentObservers(t *testing.T) {
+	pl := New(Config{IntervalNs: 10e6, Shards: 2, BatchSize: 16})
+	ses := pl.NewSession()
+	if err := ses.Start(); err != nil {
+		t.Fatal(err)
+	}
+	pkts := packet.Collect(smallWorkload())
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // passive observers
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = ses.State()
+			_ = ses.Ingested()
+			if s := ses.Snapshot(); s != nil && s.Seq == 0 {
+				t.Error("published snapshot with zero seq")
+			}
+		}
+	}()
+	go func() { // control plane
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var total uint64
+			err := ses.Exec(func(pl *Platform) { total = pl.counts.total.Load() })
+			if err == ErrSessionClosed {
+				return
+			}
+			if err != nil {
+				t.Errorf("Exec #%d: %v", i, err)
+				return
+			}
+			if total > uint64(len(pkts)) {
+				t.Errorf("Exec observed impossible total %d", total)
+				return
+			}
+		}
+	}()
+
+	for lo := 0; lo < len(pkts); lo += 777 {
+		hi := lo + 777
+		if hi > len(pkts) {
+			hi = len(pkts)
+		}
+		if err := ses.Ingest(pkts[lo:hi]); err != nil {
+			t.Fatalf("Ingest: %v", err)
+		}
+	}
+	rep, err := ses.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+	if rep.Counts.Total != uint64(len(pkts)) {
+		t.Errorf("total %d, want %d", rep.Counts.Total, len(pkts))
+	}
+	// Stragglers against the drained session fail cleanly, never hang.
+	if err := ses.Ingest(pkts[:1]); err != ErrSessionClosed {
+		t.Errorf("straggler Ingest = %v, want ErrSessionClosed", err)
+	}
+}
+
+// TestSessionIngestStreamChunkAlignment: the default chunk rounds up to a
+// BatchSize multiple so the batched drive's re-chunker subslices without
+// copying; behaviour (not just performance) must be identical either way.
+func TestSessionIngestStreamChunkAlignment(t *testing.T) {
+	for _, chunk := range []int{0, 100} { // 0 = default (BatchSize-aligned), 100 = misaligned
+		pl := New(Config{IntervalNs: 20e6, BatchSize: 96})
+		ses := pl.NewSession()
+		if err := ses.Start(); err != nil {
+			t.Fatal(err)
+		}
+		if err := ses.IngestStream(smallWorkload(), chunk); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := ses.Drain()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Counts.Total != rep.Counts.ToSNIC || rep.Counts.Total == 0 {
+			t.Errorf("chunk=%d: counts %+v", chunk, rep.Counts)
+		}
+		if rep.Counts.Total != ses.Ingested() {
+			t.Errorf("chunk=%d: total %d != ingested %d", chunk, rep.Counts.Total, ses.Ingested())
+		}
+	}
+}

@@ -63,6 +63,26 @@ type Stats struct {
 	Reads, Writes uint64
 }
 
+// Sub returns the field-wise difference s - prev. Cumulative counters
+// only ever grow, so subtracting an earlier snapshot yields the interval
+// delta (the live operator view of core.Session snapshots).
+func (s Stats) Sub(prev Stats) Stats {
+	return Stats{
+		PHits:            s.PHits - prev.PHits,
+		EHits:            s.EHits - prev.EHits,
+		Misses:           s.Misses - prev.Misses,
+		Inserts:          s.Inserts - prev.Inserts,
+		Evictions:        s.Evictions - prev.Evictions,
+		RingDrops:        s.RingDrops - prev.RingDrops,
+		HostPunts:        s.HostPunts - prev.HostPunts,
+		PinDenied:        s.PinDenied - prev.PinDenied,
+		RowCleanups:      s.RowCleanups - prev.RowCleanups,
+		CleanupEvictions: s.CleanupEvictions - prev.CleanupEvictions,
+		Reads:            s.Reads - prev.Reads,
+		Writes:           s.Writes - prev.Writes,
+	}
+}
+
 // Processed returns the total packets processed.
 func (s Stats) Processed() uint64 { return s.PHits + s.EHits + s.Misses }
 

@@ -21,6 +21,13 @@ type KVStore struct {
 	intervals map[int64]map[packet.FlowKey]HostRecord
 	aof       *bufio.Writer
 	writes    uint64
+	// retention bounds the in-memory interval map for long-running
+	// sessions (0 = unbounded, the batch-experiment default). When set,
+	// the oldest intervals are dropped from memory once more than
+	// retention are resident; AOF persistence, if configured, still holds
+	// every record ever flushed.
+	retention int
+	dropped   uint64
 }
 
 // NewKVStore returns an empty store. If aof is non-nil, every flushed
@@ -58,10 +65,48 @@ func (kv *KVStore) FlushInterval(intervalTs int64, fs *FlowStore) error {
 	if err != nil {
 		return err
 	}
+	kv.enforceRetention()
 	if kv.aof != nil {
 		return kv.aof.Flush()
 	}
 	return nil
+}
+
+// SetRetention bounds how many intervals stay resident in memory (0 =
+// unbounded). The daemon's soak path sets this so an unbounded run keeps a
+// flat heap; the final lossless flush is unaffected (it always lands in
+// the newest interval).
+func (kv *KVStore) SetRetention(n int) {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	kv.retention = n
+	kv.enforceRetention()
+}
+
+// DroppedIntervals reports how many intervals retention has evicted from
+// memory.
+func (kv *KVStore) DroppedIntervals() uint64 {
+	kv.mu.RLock()
+	defer kv.mu.RUnlock()
+	return kv.dropped
+}
+
+// enforceRetention evicts oldest intervals beyond the cap. Caller holds mu.
+func (kv *KVStore) enforceRetention() {
+	if kv.retention <= 0 {
+		return
+	}
+	for len(kv.intervals) > kv.retention {
+		oldest := int64(0)
+		first := true
+		for ts := range kv.intervals {
+			if first || ts < oldest {
+				oldest, first = ts, false
+			}
+		}
+		delete(kv.intervals, oldest)
+		kv.dropped++
+	}
 }
 
 // Get fetches one flow's aggregate in one interval.

@@ -1,0 +1,38 @@
+package obs
+
+import "testing"
+
+func TestSnapshotDelta(t *testing.T) {
+	prev := &Snapshot{
+		TsNs:     100,
+		Counters: map[string]uint64{"a": 10, "b": 5},
+		Gauges:   map[string]float64{"g": 1.5},
+	}
+	cur := &Snapshot{
+		TsNs:     200,
+		Counters: map[string]uint64{"a": 25, "b": 5, "c": 7},
+		Gauges:   map[string]float64{"g": 2.5},
+	}
+	d := cur.Delta(prev)
+	if d.TsNs != 200 {
+		t.Fatalf("delta ts = %d, want 200", d.TsNs)
+	}
+	if d.Counters["a"] != 15 || d.Counters["b"] != 0 || d.Counters["c"] != 7 {
+		t.Fatalf("counter deltas wrong: %+v", d.Counters)
+	}
+	if d.Gauges["g"] != 2.5 {
+		t.Fatalf("gauges must carry over point-in-time values: %+v", d.Gauges)
+	}
+	// First interval: delta against nil is the snapshot itself.
+	d0 := cur.Delta(nil)
+	if d0.Counters["a"] != 25 {
+		t.Fatalf("nil-prev delta should copy values, got %+v", d0.Counters)
+	}
+	// The input snapshots are untouched.
+	if cur.Counters["a"] != 25 || prev.Counters["a"] != 10 {
+		t.Fatal("Delta mutated its inputs")
+	}
+	if (*Snapshot)(nil).Delta(prev) != nil {
+		t.Fatal("nil receiver should return nil")
+	}
+}

@@ -1,0 +1,47 @@
+package p4switch
+
+import (
+	"testing"
+
+	"smartwatch/internal/packet"
+)
+
+func TestTableEntriesDeterministicOrder(t *testing.T) {
+	sw := New(DefaultConfig())
+	keys := []packet.FlowKey{
+		{LoIP: packet.MustParseAddr("10.0.0.9"), HiIP: packet.MustParseAddr("10.0.0.10"), LoPort: 40, HiPort: 80, Proto: packet.ProtoTCP},
+		{LoIP: packet.MustParseAddr("10.0.0.1"), HiIP: packet.MustParseAddr("10.0.0.2"), LoPort: 22, HiPort: 999, Proto: packet.ProtoTCP},
+		{LoIP: packet.MustParseAddr("10.0.0.1"), HiIP: packet.MustParseAddr("10.0.0.2"), LoPort: 21, HiPort: 999, Proto: packet.ProtoTCP},
+	}
+	// Install in two different orders; the dump must come out identical.
+	for _, k := range keys {
+		if err := sw.Whitelist(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sw2 := New(DefaultConfig())
+	for i := len(keys) - 1; i >= 0; i-- {
+		if err := sw2.Whitelist(keys[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, b := sw.WhitelistEntries(), sw2.WhitelistEntries()
+	if len(a) != 3 || len(b) != 3 {
+		t.Fatalf("entry counts: %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("order differs at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	if a[0].LoPort != 21 {
+		t.Fatalf("expected lowest port first, got %v", a[0])
+	}
+
+	sw.Blacklist(packet.MustParseAddr("10.9.9.9"))
+	sw.Blacklist(packet.MustParseAddr("10.1.1.1"))
+	bl := sw.BlacklistEntries()
+	if len(bl) != 2 || bl[0] != packet.MustParseAddr("10.1.1.1") {
+		t.Fatalf("blacklist dump wrong: %v", bl)
+	}
+}

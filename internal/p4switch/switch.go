@@ -302,5 +302,44 @@ func (s *Switch) Blacklist(a packet.Addr) { s.blacklist[a] = true }
 // Blacklisted reports whether the address is blocked.
 func (s *Switch) Blacklisted(a packet.Addr) bool { return s.blacklist[a] }
 
+// WhitelistEntries lists the installed benign-flow keys in a
+// deterministic order (canonical key fields ascending) — the control
+// API's table dump. O(n log n); intended for operator queries, not the
+// datapath.
+func (s *Switch) WhitelistEntries() []packet.FlowKey {
+	out := make([]packet.FlowKey, 0, len(s.whitelist))
+	for k := range s.whitelist {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.LoIP != b.LoIP {
+			return a.LoIP < b.LoIP
+		}
+		if a.HiIP != b.HiIP {
+			return a.HiIP < b.HiIP
+		}
+		if a.LoPort != b.LoPort {
+			return a.LoPort < b.LoPort
+		}
+		if a.HiPort != b.HiPort {
+			return a.HiPort < b.HiPort
+		}
+		return a.Proto < b.Proto
+	})
+	return out
+}
+
+// BlacklistEntries lists the blocked source addresses in ascending order
+// (deterministic control-API dump).
+func (s *Switch) BlacklistEntries() []packet.Addr {
+	out := make([]packet.Addr, 0, len(s.blacklist))
+	for a := range s.blacklist {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // Stats returns the cumulative decision counters.
 func (s *Switch) Stats() SwitchStats { return s.stats }

@@ -135,6 +135,49 @@ type Reader struct {
 	maxFrame int
 }
 
+// fileHeader is the decoded global pcap header, shared by Reader and
+// FollowSource.
+type fileHeader struct {
+	order   binary.ByteOrder
+	nano    bool
+	snapLen int
+}
+
+// parseFileHeader decodes the 24-byte global header: magic (both variants,
+// both byte orders), snap length, link type.
+func parseFileHeader(hdr []byte) (fileHeader, error) {
+	var fh fileHeader
+	magicLE := binary.LittleEndian.Uint32(hdr[0:4])
+	magicBE := binary.BigEndian.Uint32(hdr[0:4])
+	switch {
+	case magicLE == magicMicro:
+		fh.order = binary.LittleEndian
+	case magicLE == magicNano:
+		fh.order, fh.nano = binary.LittleEndian, true
+	case magicBE == magicMicro:
+		fh.order = binary.BigEndian
+	case magicBE == magicNano:
+		fh.order, fh.nano = binary.BigEndian, true
+	default:
+		return fh, ErrBadMagic
+	}
+	fh.snapLen = int(fh.order.Uint32(hdr[16:20]))
+	if link := fh.order.Uint32(hdr[20:24]); link != linkEthernet {
+		return fh, fmt.Errorf("pcap: unsupported link type %d", link)
+	}
+	return fh, nil
+}
+
+// recordTs converts a record header's (sec, frac) pair to virtual
+// nanoseconds under the file's timestamp resolution.
+func (fh fileHeader) recordTs(sec, frac int64) int64 {
+	ts := sec * 1e9
+	if fh.nano {
+		return ts + frac
+	}
+	return ts + frac*1e3
+}
+
 // NewReader validates the file header and returns a Reader.
 func NewReader(r io.Reader) (*Reader, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
@@ -142,26 +185,11 @@ func NewReader(r io.Reader) (*Reader, error) {
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
 		return nil, fmt.Errorf("pcap: reading file header: %w", err)
 	}
-	rd := &Reader{r: br, maxFrame: 1 << 18}
-	magicLE := binary.LittleEndian.Uint32(hdr[0:4])
-	magicBE := binary.BigEndian.Uint32(hdr[0:4])
-	switch {
-	case magicLE == magicMicro:
-		rd.order = binary.LittleEndian
-	case magicLE == magicNano:
-		rd.order, rd.nano = binary.LittleEndian, true
-	case magicBE == magicMicro:
-		rd.order = binary.BigEndian
-	case magicBE == magicNano:
-		rd.order, rd.nano = binary.BigEndian, true
-	default:
-		return nil, ErrBadMagic
+	fh, err := parseFileHeader(hdr[:])
+	if err != nil {
+		return nil, err
 	}
-	rd.snapLen = int(rd.order.Uint32(hdr[16:20]))
-	if link := rd.order.Uint32(hdr[20:24]); link != linkEthernet {
-		return nil, fmt.Errorf("pcap: unsupported link type %d", link)
-	}
-	return rd, nil
+	return &Reader{r: br, maxFrame: 1 << 18, order: fh.order, nano: fh.nano, snapLen: fh.snapLen}, nil
 }
 
 // SnapLen returns the file's declared snap length.

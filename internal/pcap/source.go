@@ -1,0 +1,271 @@
+// Packet sources (DESIGN.md §12): the pcap-backed implementations of
+// packet.Source feeding the streaming session. FileSource is today's
+// whole-file replay path with lifecycle bolted on; FollowSource tails a
+// capture that is still being written — it parses only complete records,
+// treats a partial trailing record as "not yet", and polls for growth
+// until closed or idle too long.
+package pcap
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"smartwatch/internal/packet"
+)
+
+// ErrIdleTimeout is the FollowSource error after Idle elapses with no new
+// complete record.
+var ErrIdleTimeout = errors.New("pcap: follow source idle timeout")
+
+// FileSource replays a whole capture file as a packet.Source.
+type FileSource struct {
+	f   *os.File
+	r   *Reader
+	err error
+}
+
+// OpenFile opens path and validates its pcap header.
+func OpenFile(path string) (*FileSource, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	r, err := NewReader(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &FileSource{f: f, r: r}, nil
+}
+
+// Reader exposes the underlying pcap reader (decode/skip counters).
+func (fs *FileSource) Reader() *Reader { return fs.r }
+
+// Stream yields every decodable packet in the file.
+func (fs *FileSource) Stream() packet.Stream {
+	return func(yield func(packet.Packet) bool) {
+		for {
+			p, err := fs.r.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				fs.err = err
+				return
+			}
+			if !yield(p) {
+				return
+			}
+		}
+	}
+}
+
+// Err reports a mid-file decode failure (nil after a clean EOF).
+func (fs *FileSource) Err() error { return fs.err }
+
+// Close closes the file.
+func (fs *FileSource) Close() error { return fs.f.Close() }
+
+// FollowConfig tunes a FollowSource.
+type FollowConfig struct {
+	// Poll is how long to sleep between size checks when the tail has no
+	// complete record yet (default 25ms).
+	Poll time.Duration
+	// Idle ends the stream with ErrIdleTimeout after this long without a
+	// new complete record. Zero follows forever (until Close).
+	Idle time.Duration
+	// MaxFrame rejects implausible capture lengths (default 1<<18, same
+	// as Reader) — a corrupt length field must error, not stall the tail
+	// forever waiting for 4 GB that will never arrive.
+	MaxFrame int
+}
+
+// FollowSource tails a growing pcap stream. It consumes bytes only in
+// units of complete records: a record header, or a body, that has not
+// fully landed yet stays unconsumed in the accumulation buffer until the
+// writer finishes it (robustness_test.go's truncation corpus is the
+// negative space this is built against). The zero moment for each wait is
+// a short real-time poll; virtual packet time is unaffected.
+type FollowSource struct {
+	r   io.Reader
+	cfg FollowConfig
+	fh  fileHeader
+
+	// buf[lo:hi] is buffered-but-unconsumed input.
+	buf    []byte
+	lo, hi int
+
+	hdrDone bool
+	count   int64
+	skipped int64
+	err     error
+
+	closed    atomic.Bool
+	closeOnce sync.Once
+	closeFn   func() error
+}
+
+// Follow wraps an io.Reader that returns io.EOF at the current end of
+// input (an *os.File does). closeFn, if non-nil, runs once on Close.
+func Follow(r io.Reader, cfg FollowConfig, closeFn func() error) *FollowSource {
+	if cfg.Poll <= 0 {
+		cfg.Poll = 25 * time.Millisecond
+	}
+	if cfg.MaxFrame <= 0 {
+		cfg.MaxFrame = 1 << 18
+	}
+	return &FollowSource{r: r, cfg: cfg, closeFn: closeFn}
+}
+
+// FollowFile opens path for tailing.
+func FollowFile(path string, cfg FollowConfig) (*FollowSource, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return Follow(f, cfg, f.Close), nil
+}
+
+// Count returns packets decoded so far; Skipped the undecodable frames
+// passed over.
+func (fs *FollowSource) Count() int64   { return fs.count }
+func (fs *FollowSource) Skipped() int64 { return fs.skipped }
+
+// fill reads more input into the buffer. It returns false when the
+// underlying reader is at its current end (io.EOF) without new bytes.
+func (fs *FollowSource) fill() (bool, error) {
+	if fs.lo > 0 {
+		// Slide the unconsumed tail down; the buffer never grows beyond
+		// one record plus read-ahead.
+		fs.hi = copy(fs.buf, fs.buf[fs.lo:fs.hi])
+		fs.lo = 0
+	}
+	if fs.hi == len(fs.buf) {
+		grow := 1 << 16
+		if len(fs.buf) == 0 {
+			grow = fileHdrLen + 1<<16
+		}
+		fs.buf = append(fs.buf, make([]byte, grow)...)
+	}
+	n, err := fs.r.Read(fs.buf[fs.hi:len(fs.buf)])
+	fs.hi += n
+	if err != nil && err != io.EOF {
+		return n > 0, err
+	}
+	return n > 0, nil
+}
+
+// waitMore blocks (polling) until the underlying reader yields new bytes,
+// the idle budget runs out, or the source is closed. Returns false when
+// the stream should end.
+func (fs *FollowSource) waitMore() bool {
+	var idle time.Duration
+	for {
+		if fs.closed.Load() {
+			return false
+		}
+		got, err := fs.fill()
+		if err != nil {
+			fs.err = err
+			return false
+		}
+		if got {
+			return true
+		}
+		if fs.cfg.Idle > 0 && idle >= fs.cfg.Idle {
+			fs.err = ErrIdleTimeout
+			return false
+		}
+		time.Sleep(fs.cfg.Poll)
+		idle += fs.cfg.Poll
+	}
+}
+
+// need blocks until at least n unconsumed bytes are buffered. False means
+// the stream ends (closed, idle timeout, or read failure).
+func (fs *FollowSource) need(n int) bool {
+	for fs.hi-fs.lo < n {
+		if !fs.waitMore() {
+			return false
+		}
+	}
+	return true
+}
+
+// Stream yields packets as their records complete, blocking on the tail.
+func (fs *FollowSource) Stream() packet.Stream {
+	return func(yield func(packet.Packet) bool) {
+		if !fs.hdrDone {
+			if !fs.need(fileHdrLen) {
+				return
+			}
+			fh, err := parseFileHeader(fs.buf[fs.lo : fs.lo+fileHdrLen])
+			if err != nil {
+				fs.err = err
+				return
+			}
+			fs.fh = fh
+			fs.lo += fileHdrLen
+			fs.hdrDone = true
+		}
+		for {
+			// A record is consumed only once header AND body are complete;
+			// until then lo stays put and the tail bytes wait in buf.
+			if !fs.need(pktHdrLen) {
+				return
+			}
+			hdr := fs.buf[fs.lo : fs.lo+pktHdrLen]
+			sec := int64(fs.fh.order.Uint32(hdr[0:4]))
+			frac := int64(fs.fh.order.Uint32(hdr[4:8]))
+			capLen := int(fs.fh.order.Uint32(hdr[8:12]))
+			origLen := int(fs.fh.order.Uint32(hdr[12:16]))
+			if capLen < 0 || capLen > fs.cfg.MaxFrame {
+				fs.err = fmt.Errorf("pcap: implausible capture length %d", capLen)
+				return
+			}
+			if !fs.need(pktHdrLen + capLen) {
+				return
+			}
+			frame := fs.buf[fs.lo+pktHdrLen : fs.lo+pktHdrLen+capLen]
+			fs.lo += pktHdrLen + capLen
+			p, err := packet.Decode(frame, fs.fh.recordTs(sec, frac), origLen)
+			if err != nil {
+				fs.skipped++
+				continue
+			}
+			fs.count++
+			if !yield(p) {
+				return
+			}
+		}
+	}
+}
+
+// Err reports why the stream ended: nil after Close or a clean whole-
+// record boundary, ErrIdleTimeout, or the decode/read failure.
+func (fs *FollowSource) Err() error {
+	if fs.closed.Load() && fs.err == ErrIdleTimeout {
+		return nil
+	}
+	return fs.err
+}
+
+// Close stops the tail: the stream returns at the next poll boundary.
+func (fs *FollowSource) Close() error {
+	fs.closed.Store(true)
+	var err error
+	fs.closeOnce.Do(func() {
+		if fs.closeFn != nil {
+			err = fs.closeFn()
+		}
+	})
+	return err
+}
+
+var _ packet.Source = (*FileSource)(nil)
+var _ packet.Source = (*FollowSource)(nil)

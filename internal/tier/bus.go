@@ -48,6 +48,27 @@ func (k Kind) String() string {
 	}
 }
 
+// Kinds lists every event kind, in declaration order — the control API's
+// enumerable taxonomy.
+func Kinds() []Kind {
+	out := make([]Kind, 0, int(kindCount))
+	for k := Kind(0); k < kindCount; k++ {
+		out = append(out, k)
+	}
+	return out
+}
+
+// ParseKind maps a kind's String() name back to the Kind — the inverse
+// used by the daemon's control API to accept kind names over the wire.
+func ParseKind(s string) (Kind, error) {
+	for k := Kind(0); k < kindCount; k++ {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("tier: unknown event kind %q", s)
+}
+
 // Event is one typed control-plane message. The set is closed: every event
 // type lives in this package so subscribers can type-assert exhaustively.
 type Event interface {

@@ -1,0 +1,22 @@
+package tier
+
+import "testing"
+
+func TestParseKindRoundTrip(t *testing.T) {
+	ks := Kinds()
+	if len(ks) != int(kindCount) {
+		t.Fatalf("Kinds() returned %d kinds, want %d", len(ks), int(kindCount))
+	}
+	for _, k := range ks {
+		got, err := ParseKind(k.String())
+		if err != nil {
+			t.Fatalf("ParseKind(%q): %v", k.String(), err)
+		}
+		if got != k {
+			t.Fatalf("ParseKind(%q) = %v, want %v", k.String(), got, k)
+		}
+	}
+	if _, err := ParseKind("no-such-kind"); err == nil {
+		t.Fatal("ParseKind accepted an unknown name")
+	}
+}

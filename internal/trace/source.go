@@ -1,0 +1,101 @@
+package trace
+
+import (
+	"sync/atomic"
+	"time"
+
+	"smartwatch/internal/packet"
+)
+
+// SourceConfig parameterises a generator-backed packet.Source — the
+// daemon's synthetic live feed and the soak test's packet cannon.
+type SourceConfig struct {
+	// Workload is the background generator to draw from.
+	Workload WorkloadConfig
+	// Repeat replays the workload this many times, shifting virtual
+	// timestamps by the workload duration each lap so time keeps
+	// advancing monotonically. 0 or 1 plays one lap; negative repeats
+	// until Close or MaxPackets.
+	Repeat int
+	// MaxPackets, when positive, ends the stream cleanly after this many
+	// packets regardless of laps.
+	MaxPackets int64
+	// WallRate, when positive, paces emission to roughly this many
+	// packets per wall-clock second (coarse gate, re-evaluated every
+	// pacing quantum — the daemon's "live" knob). Zero emits as fast as
+	// the consumer pulls; virtual timestamps are unaffected either way.
+	WallRate float64
+}
+
+// Source generates packets as a lifecycle-managed packet.Source.
+type Source struct {
+	cfg    SourceConfig
+	w      *Workload
+	count  atomic.Int64
+	closed atomic.Bool
+}
+
+// NewSource builds a generator source.
+func NewSource(cfg SourceConfig) *Source {
+	return &Source{cfg: cfg, w: NewWorkload(cfg.Workload)}
+}
+
+// Emitted reports packets yielded so far (safe from any goroutine — the
+// daemon's status endpoint reads it live).
+func (s *Source) Emitted() int64 { return s.count.Load() }
+
+// pacing quantum: how many packets pass between wall-clock gate checks.
+const paceQuantum = 1024
+
+// Stream yields the workload Repeat times with per-lap timestamp shifts.
+func (s *Source) Stream() packet.Stream {
+	laps := s.cfg.Repeat
+	if laps == 0 {
+		laps = 1
+	}
+	shift := s.w.Config().Duration
+	return func(yield func(packet.Packet) bool) {
+		var (
+			start     = time.Now()
+			emitted   int64
+			perSecond = s.cfg.WallRate
+		)
+		for lap := 0; laps < 0 || lap < laps; lap++ {
+			base := int64(lap) * shift
+			for p := range s.w.Stream() {
+				if s.closed.Load() {
+					return
+				}
+				if s.cfg.MaxPackets > 0 && emitted >= s.cfg.MaxPackets {
+					return
+				}
+				if perSecond > 0 && emitted%paceQuantum == 0 && emitted > 0 {
+					// Sleep until the wall clock catches up with the
+					// emission budget; coarse on purpose (one check per
+					// quantum keeps the gate off the per-packet path).
+					ahead := time.Duration(float64(emitted)/perSecond*1e9)*time.Nanosecond - time.Since(start)
+					if ahead > 0 {
+						time.Sleep(ahead)
+					}
+				}
+				p.Ts += base
+				emitted++
+				s.count.Store(emitted)
+				if !yield(p) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// Err is always nil: a generator ends only cleanly.
+func (s *Source) Err() error { return nil }
+
+// Close stops the stream at the next packet boundary.
+func (s *Source) Close() error {
+	s.closed.Store(true)
+	return nil
+}
+
+var _ packet.Source = (*Source)(nil)

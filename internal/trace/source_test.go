@@ -1,0 +1,73 @@
+package trace
+
+import (
+	"testing"
+
+	"smartwatch/internal/packet"
+)
+
+func srcWorkload() WorkloadConfig {
+	return WorkloadConfig{Seed: 7, Flows: 100, PacketRate: 1e6, Duration: 5e6}
+}
+
+func TestSourceSingleLapMatchesWorkload(t *testing.T) {
+	want := packet.Collect(NewWorkload(srcWorkload()).Stream())
+	got := packet.Collect(NewSource(SourceConfig{Workload: srcWorkload()}).Stream())
+	if len(got) != len(want) {
+		t.Fatalf("got %d packets, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("packet %d differs", i)
+		}
+	}
+}
+
+func TestSourceRepeatShiftsTimestamps(t *testing.T) {
+	lap := packet.Collect(NewWorkload(srcWorkload()).Stream())
+	src := NewSource(SourceConfig{Workload: srcWorkload(), Repeat: 3})
+	got := packet.Collect(src.Stream())
+	if len(got) != 3*len(lap) {
+		t.Fatalf("got %d packets, want %d", len(got), 3*len(lap))
+	}
+	dur := NewWorkload(srcWorkload()).Config().Duration
+	var prev int64 = -1
+	for i, p := range got {
+		base := int64(i/len(lap)) * dur
+		if p.Ts != lap[i%len(lap)].Ts+base {
+			t.Fatalf("packet %d: ts %d, want %d", i, p.Ts, lap[i%len(lap)].Ts+base)
+		}
+		if p.Ts < prev {
+			t.Fatalf("timestamps regress at %d: %d < %d", i, p.Ts, prev)
+		}
+		prev = p.Ts
+	}
+	if src.Emitted() != int64(len(got)) {
+		t.Fatalf("Emitted() = %d, want %d", src.Emitted(), len(got))
+	}
+}
+
+func TestSourceMaxPacketsStopsCleanly(t *testing.T) {
+	src := NewSource(SourceConfig{Workload: srcWorkload(), Repeat: -1, MaxPackets: 777})
+	got := packet.Collect(src.Stream())
+	if len(got) != 777 {
+		t.Fatalf("got %d packets, want 777", len(got))
+	}
+	if src.Err() != nil {
+		t.Fatalf("err: %v", src.Err())
+	}
+}
+
+func TestSourceCloseStopsInfiniteRepeat(t *testing.T) {
+	src := NewSource(SourceConfig{Workload: srcWorkload(), Repeat: -1})
+	n := 0
+	for range src.Stream() {
+		n++
+		if n == 1000 {
+			src.Close()
+		}
+	}
+	if n < 1000 || n > 1001 {
+		t.Fatalf("stream yielded %d packets after close at 1000", n)
+	}
+}

@@ -72,6 +72,69 @@ type Report = core.Report
 // New assembles a platform.
 func New(cfg Config) *Platform { return core.New(cfg) }
 
+// Streaming sessions & sources (DESIGN.md §12) -------------------------------
+
+// Session is a lifecycle-managed streaming drive over a platform:
+// Start / Ingest / Exec / Snapshot / Drain / Close. Platform.Run is a
+// thin wrapper over one. Create with Platform.NewSession.
+type Session = core.Session
+
+// SessionState is a session's lifecycle phase.
+type SessionState = core.SessionState
+
+// Session lifecycle phases.
+const (
+	SessionIdle     = core.SessionIdle
+	SessionRunning  = core.SessionRunning
+	SessionDraining = core.SessionDraining
+	SessionDone     = core.SessionDone
+)
+
+// IntervalSnapshot is the per-interval delta snapshot a running session
+// publishes at every interval close (Session.Snapshot).
+type IntervalSnapshot = core.IntervalSnapshot
+
+// Session lifecycle errors.
+var (
+	// ErrSessionClosed: the session's drive has finished.
+	ErrSessionClosed = core.ErrSessionClosed
+	// ErrSessionState: call outside its lifecycle phase.
+	ErrSessionState = core.ErrSessionState
+	// ErrSessionActive: the platform already drives another session.
+	ErrSessionActive = core.ErrSessionActive
+)
+
+// Source is a lifecycle-managed packet feed (Stream/Err/Close): live
+// inputs for sessions and the smartwatch -serve daemon.
+type Source = packet.Source
+
+// SourceOf adapts a plain Stream to a Source.
+func SourceOf(s Stream) Source { return packet.SourceOf(s) }
+
+// OpenPcapSource replays a whole pcap file as a Source.
+func OpenPcapSource(path string) (Source, error) { return pcap.OpenFile(path) }
+
+// FollowConfig tunes a growing-pcap tail (poll period, idle timeout,
+// max frame sanity bound).
+type FollowConfig = pcap.FollowConfig
+
+// FollowPcapSource tails a growing pcap file, tolerating partial
+// trailing records until the writer completes them.
+func FollowPcapSource(path string, cfg FollowConfig) (Source, error) {
+	return pcap.FollowFile(path, cfg)
+}
+
+// ErrIdleTimeout reports a followed pcap that stopped growing for the
+// configured idle window.
+var ErrIdleTimeout = pcap.ErrIdleTimeout
+
+// TraceSourceConfig shapes a generator-backed live feed: lap repetition,
+// packet budget, optional wall-clock pacing.
+type TraceSourceConfig = trace.SourceConfig
+
+// NewTraceSource builds a synthetic-workload Source.
+func NewTraceSource(cfg TraceSourceConfig) *trace.Source { return trace.NewSource(cfg) }
+
 // FlowCache -----------------------------------------------------------------
 
 // FlowCacheConfig shapes the sNIC FlowCache.
