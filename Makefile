@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race shards policies check bench profile experiments metrics-smoke serve-smoke clean
+.PHONY: all build vet test race shards policies pipeline check bench profile experiments metrics-smoke serve-smoke clean
 
 all: check
 
@@ -32,6 +32,17 @@ race:
 shards:
 	$(GO) vet ./...
 	$(GO) test -race -run 'Shard|Bus|Pipeline|Event|TierPipeline|AtomicCounts|Batch|Session' ./internal/flowcache/ ./internal/tier/ ./internal/core/
+
+# Pipelined-drive gate (DESIGN.md §13): the SPSC ring, the persistent
+# shard worker pool (steady-state alloc-freedom, goroutine-leak /
+# restart lifecycle), and the tier-overlap determinism sweep — the
+# pipelined drive must be byte-identical to the sequential oracle at
+# every Shards × BatchSize combination, including mid-stream Exec
+# barriers — all under the race detector. The sweep replays the full
+# platform dozens of times; allow a generous timeout on slow boxes.
+pipeline:
+	$(GO) vet ./...
+	$(GO) test -race -timeout 45m -run 'SPSC|Pool|Pipelined' ./internal/container/ ./internal/flowcache/ ./internal/core/
 
 # Replacement-policy / adaptive-controller gate (DESIGN.md §11): golden
 # LRU-LPC extraction, policy divergence + determinism, controller

@@ -5,8 +5,9 @@
 // It measures two layers:
 //
 //   - micro: the FlowCache Process hot path, the sNIC dispatch loop, the
-//     buffered stream bridge, and the sharded FlowCache datapath
-//     (sequential vs one-worker-per-shard, 64k packets per op), via
+//     buffered stream bridge, the sharded FlowCache datapath (sequential
+//     vs pooled workers vs spawn-per-call fan-out, 64k packets per op)
+//     and end-to-end session ingest (sequential vs pipelined drive), via
 //     testing.Benchmark (ns/op, allocs/op);
 //   - macro: wall-clock for the full `experiments all` sweep at a small
 //     scale, sequential vs parallel, plus the resulting speedup.
@@ -34,6 +35,7 @@ import (
 	"testing"
 	"time"
 
+	"smartwatch/internal/core"
 	"smartwatch/internal/experiments"
 	"smartwatch/internal/flowcache"
 	"smartwatch/internal/packet"
@@ -283,6 +285,63 @@ func main() {
 			sh4b.RunParallelBatches(pkts, 256)
 		}
 	}))
+
+	// Pool A/B: the same fan-out with goroutines/channels/buffers created
+	// per call (the pre-pool implementation). The delta against
+	// flowcache_sharded4_batch256_64k is the persistent worker pool's win.
+	fmt.Fprintln(os.Stderr, "bench: sharded flowcache, shards=4 spawn-per-call fan-out (64k pkts/op) ...")
+	sh4s := flowcache.NewSharded(4, flowcache.DefaultConfig(10), flowcache.ControllerConfig{})
+	snap.Micro["flowcache_sharded4_spawn256_64k"] = toMicro(testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sh4s.RunParallelBatchesSpawn(pkts, 256)
+		}
+	}))
+
+	// End-to-end session ingest: one op pushes the whole 64k-packet slice
+	// through a live session in 512-packet vectors on the batched drive
+	// (sharded platform), sequential vs pipelined. The session — and so the
+	// prep worker and any pool goroutines — persists across ops, measuring
+	// the steady state the -serve daemon runs in.
+	for _, sc := range []struct {
+		name      string
+		pipelined bool
+	}{
+		{"session_ingest_64k", false},
+		{"session_ingest_pipelined_64k", true},
+	} {
+		fmt.Fprintf(os.Stderr, "bench: session ingest, pipelined=%v (64k pkts/op, batch=64) ...\n", sc.pipelined)
+		spkts := append([]packet.Packet(nil), pkts...)
+		pl := core.New(core.Config{IntervalNs: 100e6, Shards: 4, BatchSize: 64, Pipelined: sc.pipelined})
+		ses := pl.NewSession()
+		if err := ses.Start(); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		snap.Micro[sc.name] = toMicro(testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				span := int64(len(spkts))
+				for j := range spkts {
+					spkts[j].Ts += span // keep virtual time monotonic across ops
+				}
+				for lo := 0; lo < len(spkts); lo += 512 {
+					hi := min(lo+512, len(spkts))
+					if err := ses.Ingest(spkts[lo:hi]); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}))
+		if _, err := ses.Drain(); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		if err := ses.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+	}
 
 	if !*skipMacro {
 		reg := experiments.Registry()

@@ -1,0 +1,137 @@
+package container
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestSPSCFullEmptyEdges(t *testing.T) {
+	q := NewSPSC[int](4)
+	if q.Cap() != 4 {
+		t.Fatalf("cap = %d, want 4", q.Cap())
+	}
+	if _, ok := q.TryPop(); ok {
+		t.Fatal("pop from empty ring succeeded")
+	}
+	for i := 0; i < 4; i++ {
+		if !q.TryPush(i) {
+			t.Fatalf("push %d refused below capacity", i)
+		}
+	}
+	if q.TryPush(99) {
+		t.Fatal("push into full ring succeeded")
+	}
+	if got := q.Len(); got != 4 {
+		t.Fatalf("Len = %d, want 4", got)
+	}
+	for i := 0; i < 4; i++ {
+		v, ok := q.TryPop()
+		if !ok || v != i {
+			t.Fatalf("pop %d = (%d, %v), want (%d, true)", i, v, ok, i)
+		}
+	}
+	if !q.Empty() {
+		t.Fatal("ring not empty after draining")
+	}
+}
+
+func TestSPSCCapacityRounding(t *testing.T) {
+	for _, tc := range []struct{ ask, want int }{
+		{0, 1}, {1, 1}, {2, 2}, {3, 4}, {4, 4}, {5, 8}, {9, 16},
+	} {
+		if got := NewSPSC[int](tc.ask).Cap(); got != tc.want {
+			t.Errorf("NewSPSC(%d).Cap() = %d, want %d", tc.ask, got, tc.want)
+		}
+	}
+}
+
+// TestSPSCWraparound pushes and pops through many times the ring
+// capacity with a ragged interleave, checking FIFO order survives index
+// wrap (the indices are free-running uint64s masked into the buffer).
+func TestSPSCWraparound(t *testing.T) {
+	q := NewSPSC[int](8)
+	next, got := 0, 0
+	for round := 0; round < 1000; round++ {
+		burst := 1 + round%8
+		for i := 0; i < burst; i++ {
+			if q.TryPush(next) {
+				next++
+			}
+		}
+		drain := 1 + (round*3)%8
+		for i := 0; i < drain; i++ {
+			v, ok := q.TryPop()
+			if !ok {
+				break
+			}
+			if v != got {
+				t.Fatalf("round %d: popped %d, want %d", round, v, got)
+			}
+			got++
+		}
+	}
+	for {
+		v, ok := q.TryPop()
+		if !ok {
+			break
+		}
+		if v != got {
+			t.Fatalf("tail drain: popped %d, want %d", v, got)
+		}
+		got++
+	}
+	if got != next {
+		t.Fatalf("consumed %d of %d pushed", got, next)
+	}
+}
+
+// TestSPSCZeroesSlots checks popped slots drop their contents, so the
+// ring never pins the consumer's buffers (the flowcache pool recycles
+// packet-pointer batches through these rings).
+func TestSPSCZeroesSlots(t *testing.T) {
+	q := NewSPSC[*int](2)
+	v := new(int)
+	q.TryPush(v)
+	q.TryPop()
+	for i := range q.buf {
+		if q.buf[i] != nil {
+			t.Fatalf("slot %d still holds a pointer after pop", i)
+		}
+	}
+}
+
+// TestSPSCConcurrent transfers a counted stream through the ring with a
+// live producer and consumer goroutine — order and completeness under the
+// race detector.
+func TestSPSCConcurrent(t *testing.T) {
+	const n = 200000
+	q := NewSPSC[int](64)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; {
+			if q.TryPush(i) {
+				i++
+			} else {
+				runtime.Gosched()
+			}
+		}
+	}()
+	for want := 0; want < n; {
+		v, ok := q.TryPop()
+		if !ok {
+			runtime.Gosched()
+			continue
+		}
+		if v != want {
+			t.Fatalf("popped %d, want %d", v, want)
+		}
+		want++
+	}
+	wg.Wait()
+	if !q.Empty() {
+		t.Fatal("ring not empty after transfer")
+	}
+}

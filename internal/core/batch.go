@@ -50,93 +50,115 @@ func (pl *Platform) batchedFilter(vecs iter.Seq[[]packet.Packet]) packet.Stream 
 			ctxs[i] = &ctxStore[i]
 		}
 		for batch := range vecs {
-			for lo := 0; lo < len(batch); {
-				// Fire timers due at the sub-batch head FIRST, then bound
-				// the sub-batch below the next timer so nothing can fire
-				// inside it — interval flushes and detector ticks observe
-				// exactly the state the per-packet drive would show them.
-				pl.maybeTick(batch[lo].Ts)
-				bound := pl.nextTick
-				if pl.nextInterval < bound {
-					bound = pl.nextInterval
-				}
-				hi := lo + 1
-				for hi < len(batch) && batch[hi].Ts < bound {
-					hi++
-				}
-				sub := batch[lo:hi]
-
-				// Pre-compute the flow identity for the vector (hash work
-				// hoisted out of the stage walk) and ingest it in one call.
-				for j := range sub {
-					c := ctxs[j]
-					c.Reset(&sub[j])
-					c.Key = sub[j].Key()
-					c.Hash = c.Key.Hash()
-					c.HasFlowID = true
-				}
-				if pl.steer == nil {
-					// Wire pipeline is ingest-only: run it as one vector
-					// through the tier batch API (which observes metrics
-					// itself).
-					pl.wire.ProcessBatch(ctxs[:len(sub)])
-				} else {
-					pl.ingest.ProcessBatch(ctxs[:len(sub)])
-					if pl.metrics != nil {
-						// Stage-level metrics parity with the per-packet
-						// drive: ingest ran outside the pipeline walk, so
-						// observe it here (stage 0 of the wire pipeline).
-						for j := range sub {
-							pl.wire.ObserveStage(0, ctxs[j])
-						}
-					}
-				}
-
-				// Verdict counters fold once per sub-batch: nothing reads
-				// them until Report, so deferring the atomic adds commutes.
-				var direct, dropped, toSNIC uint64
-				flush := func() {
-					pl.counts.forwardedDirect.Add(direct)
-					pl.counts.droppedAtSwitch.Add(dropped)
-					pl.counts.toSNIC.Add(toSNIC)
-					pl.cache.FlushAcc(&pl.batchAcc)
-				}
-				for j := range sub {
-					c := ctxs[j]
-					if pl.steer != nil {
-						// Steer per-packet: the sNIC processing of the
-						// previous packet (inside the last yield) may have
-						// programmed the switch tables this decision reads.
-						pl.steer.Handle(c)
-						if pl.metrics != nil {
-							// Stage 1 of the wire pipeline, run outside the
-							// pipeline walk — observe for metric parity.
-							pl.wire.ObserveStage(1, c)
-						}
-						if c.Verdict == tier.ForwardDirect {
-							direct++
-							continue
-						}
-						if c.Verdict == tier.DropAtSwitch {
-							dropped++
-							continue
-						}
-					}
-					toSNIC++
-					pl.pendHash, pl.pendKey, pl.pendValid = c.Hash, c.Key, true
-					if !yield(sub[j]) {
-						flush()
-						return
-					}
-				}
-				// Flush before the next maybeTick: interval observers must
-				// see aggregate stats exactly as the per-packet drive left
-				// them.
-				flush()
-				lo = hi
+			prepIdentity(batch, ctxs)
+			if !pl.consumePrepped(batch, ctxs, yield) {
+				return
 			}
 		}
 	}
+}
+
+// prepIdentity fills ctxs[0:len(batch)] with each packet's flow identity
+// — context reset, canonical key, flow hash. It is PURE with respect to
+// platform state (it touches only the context vector and reads only the
+// packets), which is the property the pipelined drive exploits: prep for
+// chunk N+1 may run on another goroutine while chunk N's stateful
+// ingest/steer/sNIC work is still in flight (pipeline.go).
+func prepIdentity(batch []packet.Packet, ctxs []*tier.Context) {
+	for j := range batch {
+		c := ctxs[j]
+		c.Reset(&batch[j])
+		c.Key = batch[j].Key()
+		c.Hash = c.Key.Hash()
+		c.HasFlowID = true
+	}
+}
+
+// consumePrepped runs one identity-prepped chunk through the stateful
+// half of the batched drive — timer-split sub-batches, vectored ingest,
+// per-packet steer, yield into the sNIC engine — exactly as the original
+// batched filter did. Returns false when the engine stopped pulling
+// (yield returned false); counters are flushed either way. Must run on
+// the drive goroutine.
+func (pl *Platform) consumePrepped(batch []packet.Packet, ctxs []*tier.Context, yield func(packet.Packet) bool) bool {
+	for lo := 0; lo < len(batch); {
+		// Fire timers due at the sub-batch head FIRST, then bound
+		// the sub-batch below the next timer so nothing can fire
+		// inside it — interval flushes and detector ticks observe
+		// exactly the state the per-packet drive would show them.
+		pl.maybeTick(batch[lo].Ts)
+		bound := pl.nextTick
+		if pl.nextInterval < bound {
+			bound = pl.nextInterval
+		}
+		hi := lo + 1
+		for hi < len(batch) && batch[hi].Ts < bound {
+			hi++
+		}
+		sub := batch[lo:hi]
+		cs := ctxs[lo:hi]
+
+		if pl.steer == nil {
+			// Wire pipeline is ingest-only: run it as one vector
+			// through the tier batch API (which observes metrics
+			// itself).
+			pl.wire.ProcessBatch(cs)
+		} else {
+			pl.ingest.ProcessBatch(cs)
+			if pl.metrics != nil {
+				// Stage-level metrics parity with the per-packet
+				// drive: ingest ran outside the pipeline walk, so
+				// observe it here (stage 0 of the wire pipeline).
+				for j := range sub {
+					pl.wire.ObserveStage(0, cs[j])
+				}
+			}
+		}
+
+		// Verdict counters fold once per sub-batch: nothing reads
+		// them until Report, so deferring the atomic adds commutes.
+		var direct, dropped, toSNIC uint64
+		flush := func() {
+			pl.counts.forwardedDirect.Add(direct)
+			pl.counts.droppedAtSwitch.Add(dropped)
+			pl.counts.toSNIC.Add(toSNIC)
+			pl.cache.FlushAcc(&pl.batchAcc)
+		}
+		for j := range sub {
+			c := cs[j]
+			if pl.steer != nil {
+				// Steer per-packet: the sNIC processing of the
+				// previous packet (inside the last yield) may have
+				// programmed the switch tables this decision reads.
+				pl.steer.Handle(c)
+				if pl.metrics != nil {
+					// Stage 1 of the wire pipeline, run outside the
+					// pipeline walk — observe for metric parity.
+					pl.wire.ObserveStage(1, c)
+				}
+				if c.Verdict == tier.ForwardDirect {
+					direct++
+					continue
+				}
+				if c.Verdict == tier.DropAtSwitch {
+					dropped++
+					continue
+				}
+			}
+			toSNIC++
+			pl.pendHash, pl.pendKey, pl.pendValid = c.Hash, c.Key, true
+			if !yield(sub[j]) {
+				flush()
+				return false
+			}
+		}
+		// Flush before the next maybeTick: interval observers must
+		// see aggregate stats exactly as the per-packet drive left
+		// them.
+		flush()
+		lo = hi
+	}
+	return true
 }
 
 // flatten unrolls ingested vectors into the per-packet stream the

@@ -1,0 +1,208 @@
+// Pipelined drive (DESIGN.md §13): Config.Pipelined overlaps the tiers
+// of the batched drive across consecutive chunks. The split follows the
+// determinism analysis, not the tier diagram: the ONLY work that may run
+// ahead of the current chunk is prepIdentity — context reset, canonical
+// key, flow hash — because it is pure with respect to platform state.
+// Everything stateful stays on the drive goroutine in per-packet order:
+//
+//   - Steering CANNOT be overlapped. The steer stage reads switch tables
+//     (blacklist/whitelist/steer maps) that nic-side detector reactions
+//     rewrite mid-stream via bus events; pre-steering chunk N+1 while
+//     chunk N's sNIC work is still publishing would let a packet see a
+//     stale table. TestBatchedDriveMatchesPerPacket's hazard assertions
+//     exist precisely to catch that.
+//   - Timer work (ticks, interval closes) fires between packets where the
+//     per-packet drive fires it — consumePrepped's sub-batch split is
+//     unchanged. prepIdentity never reads or writes anything a tick
+//     touches, so prepping past a timer edge is invisible.
+//   - Session Exec closures, interval subscribers and mode-switch bus
+//     events only ever run with the prep worker idle: the worker is
+//     waited before each chunk is consumed, and the last chunk of an
+//     ingest vector has no successor to prefetch — the pipeline drains
+//     naturally before the session acks the vector (the barrier the
+//     overlap_barrier_flushes counter records).
+//
+// The prep worker is persistent: one goroutine, created lazily on the
+// first pipelined drive, reused across every vector, session and drive
+// until Platform.Close / Session.Close release it (no finalizers). The
+// handoff is a rendezvous request channel plus a capacity-1 completion
+// channel — at most one prep request is ever outstanding, and the drive
+// always waits for it before reusing the target buffer or returning.
+//
+// Double buffering: two tier.Context vectors alternate chunk-parity.
+// While the drive consumes chunk c out of buffer c%2, the worker preps
+// chunk c+1 into buffer (c+1)%2. Chunk boundaries reproduce rechunk's
+// shapes exactly (carry-completion chunk, aligned subslices, trailing
+// carry) so the consumed sub-batches are byte-identical to the
+// sequential batched drive's.
+package core
+
+import (
+	"iter"
+
+	"smartwatch/internal/packet"
+	"smartwatch/internal/tier"
+)
+
+// prepReq asks the prep worker to identity-prep pkts into ctxs.
+type prepReq struct {
+	pkts []packet.Packet
+	ctxs []*tier.Context
+}
+
+// ensurePrep lazily starts the persistent prep worker. Called on the
+// drive goroutine; the channel handshake orders it against the worker.
+func (pl *Platform) ensurePrep() {
+	if pl.prepRunning {
+		return
+	}
+	pl.prepReq = make(chan prepReq)
+	pl.prepDone = make(chan struct{}, 1)
+	go prepWorker(pl.prepReq, pl.prepDone)
+	pl.prepRunning = true
+}
+
+// prepWorker is the persistent identity-prefetch goroutine. It owns no
+// platform state: each request touches only the packet slice and context
+// buffer it carries. Exits when the request channel closes.
+func prepWorker(reqs <-chan prepReq, done chan<- struct{}) {
+	for r := range reqs {
+		prepIdentity(r.pkts, r.ctxs)
+		done <- struct{}{} // cap 1; protocol allows one outstanding request
+	}
+}
+
+// ReleaseWorkers stops the platform's lazily created background
+// goroutines — the pipelined drive's prep worker and the FlowCache's
+// shard worker pool. Safe when none were ever started, idempotent, and
+// both restart lazily on next use. A no-op while a session is active
+// (the drive owns the workers then); Session.Close calls it after the
+// drain, so a fully closed platform holds no goroutines.
+func (pl *Platform) ReleaseWorkers() {
+	if pl.sessionBusy.Load() {
+		return
+	}
+	if pl.prepRunning {
+		close(pl.prepReq)
+		pl.prepRunning = false
+	}
+	pl.cache.Close()
+}
+
+// Close tears the platform down: it refuses while a session is active,
+// otherwise releases all background workers. The platform remains usable
+// afterwards (workers restart lazily); Close exists so embedders — the
+// serve control plane, tests, benchmarks — can assert goroutine
+// hygiene without finalizers.
+func (pl *Platform) Close() error {
+	if pl.sessionBusy.Load() {
+		return ErrSessionActive
+	}
+	pl.ReleaseWorkers()
+	return nil
+}
+
+// pipelinedFilter is the tier-overlapped twin of batchedFilter: same
+// chunk shapes, same consumePrepped body, but chunk N+1's identity prep
+// runs on the prep worker while chunk N's stateful work runs here. It
+// consumes raw ingest vectors (it re-chunks itself — the chunk list of a
+// vector must be known up front to prefetch across chunk boundaries).
+func (pl *Platform) pipelinedFilter(vecs iter.Seq[[]packet.Packet]) packet.Stream {
+	return func(yield func(packet.Packet) bool) {
+		size := pl.cfg.BatchSize
+		pl.ensurePrep()
+
+		// Double-buffered context vectors: chunk c preps into bufs[c%2].
+		var stores [2][]tier.Context
+		var ctxs [2][]*tier.Context
+		for b := 0; b < 2; b++ {
+			stores[b] = make([]tier.Context, size)
+			ctxs[b] = make([]*tier.Context, size)
+			for i := range ctxs[b] {
+				ctxs[b][i] = &stores[b][i]
+			}
+		}
+
+		carry := make([]packet.Packet, 0, size)
+		chunks := make([][]packet.Packet, 0, 8)
+		pending := false // one prep request outstanding at the worker
+		kick := func(c int, chunk []packet.Packet) {
+			pl.prepReq <- prepReq{pkts: chunk, ctxs: ctxs[c&1]}
+			pl.prepChunks.Add(1)
+			pending = true
+		}
+		wait := func() {
+			<-pl.prepDone
+			pending = false
+		}
+
+		for vec := range vecs {
+			chunks = chunks[:0]
+			carryQueued := false
+			// Reproduce rechunk's boundaries: a carry-completion chunk
+			// first, then aligned in-place subslices; the sub-size tail
+			// becomes the next carry (copied — the vector is recycled by
+			// the producer as soon as this iteration returns).
+			if len(carry) > 0 {
+				n := min(size-len(carry), len(vec))
+				carry = append(carry, vec[:n]...)
+				vec = vec[n:]
+				if len(carry) < size {
+					continue // vector fully absorbed; nothing to process yet
+				}
+				chunks = append(chunks, carry)
+				carryQueued = true
+			}
+			for len(vec) >= size {
+				chunks = append(chunks, vec[:size])
+				vec = vec[size:]
+			}
+			tail := vec
+
+			// kick(c) into buf c%2; loop: wait(c), kick(c+1), consume(c).
+			// The last chunk kicks nothing, so consuming it drains the
+			// pipeline — the end-of-vector barrier that orders Session
+			// Exec closures and the vector ack after ALL of the vector's
+			// stateful work.
+			stopped := false
+			for c := 0; c < len(chunks); c++ {
+				if c == 0 {
+					kick(0, chunks[0])
+				}
+				wait()
+				if c+1 < len(chunks) {
+					kick(c+1, chunks[c+1])
+				}
+				if !pl.consumePrepped(chunks[c], ctxs[c&1], yield) {
+					stopped = true
+					break
+				}
+			}
+			if pending {
+				// Engine stopped pulling mid-vector with a prefetch in
+				// flight: the worker writes only our local buffers, but it
+				// must be idle before the drive returns (the producer may
+				// recycle the packet vector it is reading).
+				wait()
+			}
+			if stopped {
+				return
+			}
+			if len(chunks) > 0 {
+				pl.overlapBarriers.Add(1)
+			}
+			if carryQueued {
+				// The carry-completion chunk was consumed; reset before
+				// absorbing this vector's tail.
+				carry = carry[:0]
+			}
+			carry = append(carry, tail...)
+		}
+		// Final partial chunk, same as rechunk's trailing yield. No
+		// overlap possible (nothing follows); prep inline.
+		if len(carry) > 0 {
+			prepIdentity(carry, ctxs[0])
+			pl.consumePrepped(carry, ctxs[0], yield)
+		}
+	}
+}

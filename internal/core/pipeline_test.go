@@ -1,0 +1,293 @@
+package core
+
+import (
+	"bytes"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"smartwatch/internal/obs"
+	"smartwatch/internal/packet"
+	"smartwatch/internal/tier"
+	"smartwatch/internal/trace"
+)
+
+// TestPipelinedDriveMatchesSequential is the tier-overlap acceptance
+// gate: at every Shards × BatchSize combination the pipelined drive must
+// reproduce the sequential drive of the SAME configuration byte for byte
+// — report, alert sequence and flow log. The sequential drive is itself
+// pinned to the per-packet and legacy oracles by the batch suite, so
+// transitively the pipelined drive equals the per-packet drive. The
+// stream length (~800k packets) divides none of the batch sizes, so
+// every run exercises an odd tail through the carry path.
+func TestPipelinedDriveMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-platform sweep; overlap mechanics covered by the session/odd-tail tests in -short runs")
+	}
+	for _, shards := range []int{1, 2, 4, 8} {
+		// The trace must exercise the mid-stream control-feedback hazard
+		// (detector blacklists rewriting switch tables): a drive that
+		// (incorrectly) overlapped steering would only be caught by a
+		// workload where steering outcomes change mid-vector.
+		base := New(fullConfig(false, shards))
+		baseRep := base.Run(mixedStream())
+		if baseRep.Events.PublishedFor(tier.KindBlacklist) == 0 {
+			t.Fatal("workload published no blacklist events; overlap hazard not exercised")
+		}
+
+		for _, batch := range []int{1, 17, 64, 256} {
+			// Fresh configs per run: fullConfig embeds live Detector
+			// instances, so a reused Config value would leak detector
+			// state (flagged sources, sliding windows) between runs.
+			seq := fullConfig(false, shards)
+			seq.BatchSize = batch
+			want := runDump(seq)
+
+			pip := fullConfig(false, shards)
+			pip.BatchSize = batch
+			pip.Pipelined = true
+			if got := runDump(pip); got != want {
+				t.Errorf("shards=%d batch=%d: pipelined drive diverged from sequential:\n%s",
+					shards, batch, firstDiffLine(want, got))
+			}
+		}
+	}
+}
+
+// TestPipelinedOddTail mirrors TestBatchedDriveOddTail for the overlapped
+// drive: stream lengths around the batch size land the final chunk short,
+// exactly full, and one over, on a timer-heavy config so the sub-batch
+// split hits the tail too.
+func TestPipelinedOddTail(t *testing.T) {
+	mk := func(n int) packet.Stream {
+		w := trace.NewWorkload(trace.WorkloadConfig{Seed: 7, Flows: 50, PacketRate: 1e6, Duration: 1e9})
+		return packet.Limit(w.Stream(), int64(n))
+	}
+	for _, n := range []int{1, 63, 64, 65, 1000} {
+		ref := New(Config{IntervalNs: 50e6, Detectors: detectorSet()})
+		refRep := ref.Run(mk(n))
+		want := canonicalDump(ref, refRep) + kvDump(ref)
+
+		pl := New(Config{IntervalNs: 50e6, Detectors: detectorSet(), BatchSize: 64, Pipelined: true})
+		rep := pl.Run(mk(n))
+		got := canonicalDump(pl, rep) + kvDump(pl)
+		if got != want {
+			t.Errorf("n=%d diverged on odd tail:\n%s", n, firstDiffLine(want, got))
+		}
+		if err := pl.Close(); err != nil {
+			t.Fatalf("n=%d: Close: %v", n, err)
+		}
+	}
+}
+
+// TestPipelinedSessionExecBarrier drives the same trace through sessions
+// on a sequential and a pipelined platform with identical mid-stream Exec
+// schedules — closures that READ live state (occupancy) and ones that
+// MUTATE steering (publish a blacklist for a source seen later in the
+// trace). The overlap barrier must have drained every in-flight chunk
+// before each closure runs: the observed occupancy sequence and the final
+// dumps must match exactly. An overlap that leaked steering or cache work
+// past the vector ack would skew either.
+func TestPipelinedSessionExecBarrier(t *testing.T) {
+	pkts := packet.Collect(mixedStream())
+	victim := pkts[len(pkts)/3].Tuple.SrcIP
+
+	drive := func(pipelined bool) (string, []int) {
+		cfg := fullConfig(false, 4)
+		cfg.BatchSize = 64
+		cfg.Pipelined = pipelined
+		pl := New(cfg)
+		ses := pl.NewSession()
+		if err := ses.Start(); err != nil {
+			t.Fatal(err)
+		}
+		var occ []int
+		const chunk = 509
+		for i, lo := 0, 0; lo < len(pkts); i, lo = i+1, lo+chunk {
+			hi := min(lo+chunk, len(pkts))
+			if err := ses.Ingest(pkts[lo:hi]); err != nil {
+				t.Fatalf("Ingest[%d:%d]: %v", lo, hi, err)
+			}
+			if i%64 == 5 {
+				if err := ses.Exec(func(pl *Platform) {
+					occ = append(occ, pl.Cache().Occupancy())
+				}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if i == 200 {
+				if err := ses.Exec(func(pl *Platform) {
+					pl.Bus().Publish(tier.BlacklistEvent{Addr: victim, Origin: "operator"})
+				}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		rep, err := ses.Drain()
+		if err != nil {
+			t.Fatal(err)
+		}
+		dump := canonicalDump(pl, rep) + kvDump(pl)
+		if err := ses.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return dump, occ
+	}
+
+	wantDump, wantOcc := drive(false)
+	gotDump, gotOcc := drive(true)
+	if gotDump != wantDump {
+		t.Errorf("pipelined session with Exec barriers diverged:\n%s", firstDiffLine(wantDump, gotDump))
+	}
+	if len(wantOcc) == 0 {
+		t.Fatal("no Exec observations recorded; barrier not exercised")
+	}
+	for i := range wantOcc {
+		if gotOcc[i] != wantOcc[i] {
+			t.Errorf("Exec observation %d: occupancy %d (pipelined) != %d (sequential) — overlap leaked past the barrier",
+				i, gotOcc[i], wantOcc[i])
+		}
+	}
+}
+
+// stripPipelineSeries re-encodes a metrics JSON-lines log with the
+// pipeline.* series removed — the only series documented to differ
+// between the sequential and pipelined drives of one configuration.
+func stripPipelineSeries(t *testing.T, log []byte) []byte {
+	t.Helper()
+	var out bytes.Buffer
+	for _, line := range bytes.Split(bytes.TrimSpace(log), []byte("\n")) {
+		s, err := obs.DecodeSnapshot(line)
+		if err != nil {
+			t.Fatalf("decode metrics line: %v", err)
+		}
+		for name := range s.Counters {
+			if strings.HasPrefix(name, "pipeline.") {
+				delete(s.Counters, name)
+			}
+		}
+		if err := s.Encode(&out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return out.Bytes()
+}
+
+// TestPipelinedMetricsMatchSequential holds the pipelined drive's metrics
+// log to the sequential drive's, byte for byte outside the pipeline.*
+// series — and requires the pipeline.* series to prove the overlap
+// actually ran (chunks prepped ahead, barriers flushed per vector).
+func TestPipelinedMetricsMatchSequential(t *testing.T) {
+	run := func(pipelined bool) (*bytes.Buffer, *Platform) {
+		var buf bytes.Buffer
+		cfg := fullConfig(false, 4)
+		cfg.BatchSize = 64
+		cfg.Pipelined = pipelined
+		cfg.Metrics = obs.NewRegistry()
+		cfg.MetricsWriter = &buf
+		pl := New(cfg)
+		pl.Run(mixedStream())
+		return &buf, pl
+	}
+	seqBuf, _ := run(false)
+	pipBuf, pip := run(true)
+
+	final := pip.Metrics().LastSnapshot()
+	if final.Counter("pipeline.prep_chunks") == 0 {
+		t.Error("pipelined drive prepped no chunks ahead; overlap never engaged")
+	}
+	if final.Counter("pipeline.overlap_barrier_flushes") == 0 {
+		t.Error("pipelined drive recorded no barrier flushes")
+	}
+	if bytes.Contains(seqBuf.Bytes(), []byte(`"pipeline.`)) {
+		t.Error("sequential drive emitted pipeline.* series; deterministic subset broken")
+	}
+
+	want := stripPipelineSeries(t, seqBuf.Bytes())
+	got := stripPipelineSeries(t, pipBuf.Bytes())
+	if !bytes.Equal(want, got) {
+		t.Errorf("metrics diverged outside pipeline.* series:\n%s",
+			firstDiffLine(string(want), string(got)))
+	}
+}
+
+// awaitGoroutines polls until the live goroutine count drops to at most
+// want (worker teardown is synchronous, but the runtime's bookkeeping of
+// exited goroutines can lag briefly).
+func awaitGoroutines(t *testing.T, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines stuck at %d, want <= %d", runtime.NumGoroutine(), want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestPipelinedWorkerRelease checks the prep worker's lifecycle: created
+// lazily by the first pipelined drive, held across drives, refused
+// release while a session is active, released by Session.Close /
+// Platform.Close (goroutine count returns to baseline), and restarted
+// lazily by the next drive with identical results.
+func TestPipelinedWorkerRelease(t *testing.T) {
+	mk := func(n int) packet.Stream {
+		w := trace.NewWorkload(trace.WorkloadConfig{Seed: 9, Flows: 40, PacketRate: 1e6, Duration: 1e9})
+		return packet.Limit(w.Stream(), int64(n))
+	}
+	base := runtime.NumGoroutine()
+	// Built per platform: Detectors are live instances and must not be
+	// shared across platforms.
+	mkCfg := func() Config {
+		return Config{IntervalNs: 50e6, Detectors: detectorSet(), BatchSize: 64, Pipelined: true}
+	}
+	pl := New(mkCfg())
+
+	// Close while a session is active must refuse and leave the drive
+	// intact.
+	ses := pl.NewSession()
+	if err := ses.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ses.Ingest(packet.Collect(mk(500))); err != nil {
+		t.Fatal(err)
+	}
+	if err := pl.Close(); err != ErrSessionActive {
+		t.Fatalf("Close during active session = %v, want ErrSessionActive", err)
+	}
+	if !pl.prepRunning {
+		t.Fatal("pipelined session did not start the prep worker")
+	}
+	if err := ses.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if pl.prepRunning {
+		t.Fatal("Session.Close left the prep worker running")
+	}
+	awaitGoroutines(t, base)
+
+	// The next drive restarts the worker lazily and still matches the
+	// per-packet reference; Platform.Close releases it again.
+	ref := New(Config{IntervalNs: 50e6, Detectors: detectorSet()})
+	refRep := ref.Run(mk(1000))
+	want := canonicalDump(ref, refRep) + kvDump(ref)
+
+	pl2 := New(mkCfg())
+	for cycle := 0; cycle < 2; cycle++ {
+		rep := pl2.Run(mk(1000))
+		if cycle == 0 {
+			if got := canonicalDump(pl2, rep) + kvDump(pl2); got != want {
+				t.Errorf("drive after release diverged:\n%s", firstDiffLine(want, got))
+			}
+		}
+		if err := pl2.Close(); err != nil {
+			t.Fatal(err)
+		}
+		awaitGoroutines(t, base)
+	}
+}

@@ -75,6 +75,17 @@ type Config struct {
 	// 0 or 1 keeps the per-packet drive; LegacyPipeline ignores it (the
 	// oracle stays exactly as it was).
 	BatchSize int
+	// Pipelined overlaps the tiers of the batched drive across chunks
+	// (DESIGN.md §13): a persistent prep worker computes the NEXT chunk's
+	// pure flow-identity work (context reset, canonical key, flow hash)
+	// while the drive goroutine runs the CURRENT chunk's stateful
+	// ingest/steer/sNIC work, with a barrier draining the overlap before
+	// Session Exec closures, interval timer edges and mode-switch bus
+	// events. Reports and state stay byte-identical to the sequential
+	// batched drive at every Shards×BatchSize. Requires BatchSize > 1
+	// (there is no chunk to overlap otherwise — the flag is then inert)
+	// and the tier pipeline (ignored under LegacyPipeline).
+	Pipelined bool
 	// Metrics, when set, instruments every tier into this registry and
 	// snapshots it at each interval close (DESIGN.md §10). nil disables
 	// metrics entirely — the hot paths then pay only nil-check branches.
@@ -141,6 +152,17 @@ type Platform struct {
 	// (session.go); Run is itself a session internally.
 	session     *Session
 	sessionBusy atomic.Bool
+
+	// prepReq / prepDone / prepRunning are the pipelined drive's
+	// persistent identity-prefetch worker (pipeline.go); prepChunks and
+	// overlapBarriers are its observability counters (atomics only
+	// because the -expvar observer may snapshot concurrently — all
+	// writes happen on the drive goroutine).
+	prepReq         chan prepReq
+	prepDone        chan struct{}
+	prepRunning     bool
+	prepChunks      atomic.Uint64
+	overlapBarriers atomic.Uint64
 }
 
 // Counts aggregates platform-level packet accounting.
@@ -555,6 +577,11 @@ func (pl *Platform) driveBatches(vecs iter.Seq[[]packet.Packet]) Report {
 	switch {
 	case pl.cfg.LegacyPipeline:
 		filtered = pl.legacyFilter(flatten(vecs))
+	case pl.cfg.Pipelined && pl.cfg.BatchSize > 1:
+		// Tier-overlapped drive: chunk N+1's identity prep runs on the
+		// prep worker while chunk N's stateful work runs here
+		// (pipeline.go). Re-chunks internally.
+		filtered = pl.pipelinedFilter(vecs)
 	case pl.cfg.BatchSize > 1:
 		filtered = pl.batchedFilter(rechunk(vecs, pl.cfg.BatchSize))
 	default:

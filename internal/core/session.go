@@ -312,18 +312,24 @@ func (s *Session) Report() (Report, bool) {
 
 // Close tears the session down. A running session is drained first (the
 // final flush still happens — Close is the polite SIGTERM path); a drained
-// or idle session is a no-op. Idempotent.
+// or idle session just transitions to Done. Either way the platform's
+// lazily started background workers (prep worker, shard worker pool) are
+// released — a closed session leaves no goroutines behind; they restart
+// lazily if the platform drives again. Idempotent.
 func (s *Session) Close() error {
 	switch s.State() {
 	case SessionRunning:
 		_, err := s.Drain()
+		s.pl.ReleaseWorkers()
 		return err
 	case SessionIdle:
 		s.mu.Lock()
 		s.state = SessionDone
 		s.mu.Unlock()
+		s.pl.ReleaseWorkers()
 		return nil
 	default:
+		s.pl.ReleaseWorkers()
 		return nil
 	}
 }

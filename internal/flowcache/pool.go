@@ -1,0 +1,376 @@
+// Persistent shard worker pool (DESIGN.md §13): the parallel drive's
+// goroutines are created once — lazily, on the first RunParallel /
+// RunParallelBatches call — and live until Sharded.Close, reused across
+// every drive, interval and Session. The per-call setup the old fan-out
+// paid (2×N channel allocations, N goroutine spawns, a fresh buffer
+// store) is gone: handoff rides two SPSC ring queues per shard (full
+// batches toward the worker, drained buffers back), the batch buffers
+// recycle through those rings indefinitely, and a steady-state call
+// allocates nothing and spawns nothing.
+//
+// The handoff unit is a []fanEntry batch: the router computes each
+// packet's canonical key and flow hash ONCE (it needs the hash for shard
+// selection anyway) and ships both alongside the packet pointer, so the
+// worker never re-canonicalises — each packet is hashed exactly once
+// end-to-end, and the worker's per-packet loads come from a dense,
+// sequentially-written buffer instead of pointer-chasing back into the
+// source slice.
+//
+// Parking protocol: workers spin briefly (yielding the processor — this
+// must also behave on GOMAXPROCS=1 boxes, where spinning without Gosched
+// starves the router), then set a sleeping flag, re-check the ring, and
+// block on a capacity-1 wake channel. The router only touches the
+// channel when the flag says the worker is parked, so channel operations
+// happen on idle↔busy transitions, never per batch in steady flow. The
+// router parks symmetrically against a completion counter when it needs
+// the drive-end barrier.
+package flowcache
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"smartwatch/internal/container"
+	"smartwatch/internal/packet"
+)
+
+// fanEntry is one packet's handoff record: pointer plus the flow identity
+// the router already computed. 32 bytes, so a 256-entry batch is 8 KiB of
+// sequential reads for the worker.
+type fanEntry struct {
+	p    *packet.Packet
+	hash uint64
+	key  packet.FlowKey
+}
+
+// poolDepth is the number of batch buffers in circulation per shard: one
+// being filled by the router, up to two queued, one being drained. Must
+// be a power of two (it sizes the SPSC rings exactly).
+const poolDepth = 4
+
+// spinPasses is how many yield-and-recheck passes a parking side makes
+// before committing to the wake channel. Small: on a single-core box a
+// pass is a full scheduler yield, and the counterpart needs the CPU more
+// than we need to avoid one channel op.
+const spinPasses = 8
+
+// PoolShardStats is one shard worker's observability counters (see
+// Sharded.PoolStats): ring occupancy high-water mark, producer stalls and
+// cumulative handoffs. All maintained with per-batch (not per-packet)
+// atomics, so they cost nothing measurable and need no disable gate.
+type PoolShardStats struct {
+	// RingHWM is the deepest the inbound ring has been, in batches.
+	RingHWM int64
+	// Stalls counts router waits: the inbound ring was full or no
+	// recycled buffer was available, so the producer had to yield until
+	// the worker caught up.
+	Stalls uint64
+	// Batches is the number of buffer handoffs to the worker.
+	Batches uint64
+	// Wakeups counts parked-worker wakeups via the channel (idle↔busy
+	// transitions; steady flow does none).
+	Wakeups uint64
+}
+
+// shardWorker is one shard's persistent consumer plus its rings.
+type shardWorker struct {
+	in   *container.SPSC[[]fanEntry]
+	free *container.SPSC[[]fanEntry]
+
+	// issued is router-local; completed is the worker's progress, and
+	// their equality is the drive-end barrier.
+	issued    uint64
+	completed atomic.Uint64
+
+	sleeping atomic.Bool
+	wake     chan struct{}
+
+	hwm     atomic.Int64
+	stalls  atomic.Uint64
+	batches atomic.Uint64
+	wakeups atomic.Uint64
+}
+
+// workerPool owns the shard workers. Exactly one goroutine drives the
+// router side at a time (the single-caller contract RunParallel* always
+// had); the pool adds N worker goroutines that live until Close.
+type workerPool struct {
+	s     *Sharded
+	batch int
+
+	workers []shardWorker
+	bufs    [][]fanEntry // router-side: the buffer currently being filled, per shard
+
+	stop atomic.Bool
+	wg   sync.WaitGroup
+
+	// Router parking for the completion barrier.
+	routerWaiting atomic.Bool
+	routerWake    chan struct{}
+
+	running bool
+}
+
+// ensurePool starts (or restarts after Close, or resizes after a batch
+// change) the pool so that steady-state calls with a stable batch size do
+// no setup work at all.
+func (s *Sharded) ensurePool(batch int) *workerPool {
+	p := s.pool
+	if p == nil {
+		p = &workerPool{s: s, routerWake: make(chan struct{}, 1)}
+		s.pool = p
+	}
+	if p.running && p.batch == batch {
+		return p
+	}
+	if p.running && p.batch != batch {
+		// Batch-size change mid-life: drain and rebuild the buffers. Rare
+		// (drives use a fixed size); costs one stop/start cycle.
+		p.close()
+	}
+	p.start(batch)
+	return p
+}
+
+// start allocates rings and buffers sized for batch and launches one
+// worker per shard.
+func (p *workerPool) start(batch int) {
+	n := len(p.s.shards)
+	p.batch = batch
+	p.stop.Store(false)
+	p.workers = make([]shardWorker, n)
+	p.bufs = make([][]fanEntry, n)
+	for i := range p.workers {
+		w := &p.workers[i]
+		w.in = container.NewSPSC[[]fanEntry](poolDepth)
+		w.free = container.NewSPSC[[]fanEntry](poolDepth)
+		w.wake = make(chan struct{}, 1)
+		store := make([]fanEntry, poolDepth*batch)
+		for j := 0; j < poolDepth; j++ {
+			w.free.TryPush(store[j*batch : j*batch : (j+1)*batch])
+		}
+		w.issued = 0
+		w.completed.Store(0)
+		p.wg.Add(1)
+		go p.worker(i)
+	}
+	p.running = true
+}
+
+// close stops the workers and waits for them to exit. Buffers and rings
+// are dropped; start rebuilds them.
+func (p *workerPool) close() {
+	if !p.running {
+		return
+	}
+	p.stop.Store(true)
+	for i := range p.workers {
+		w := &p.workers[i]
+		select {
+		case w.wake <- struct{}{}:
+		default:
+		}
+	}
+	p.wg.Wait()
+	p.workers = nil
+	p.bufs = nil
+	p.running = false
+}
+
+// worker is shard i's persistent drain loop.
+func (p *workerPool) worker(i int) {
+	defer p.wg.Done()
+	w := &p.workers[i]
+	ctl, c := p.s.ctls[i], p.s.shards[i]
+	var acc BatchAcc
+	for {
+		b, ok := w.in.TryPop()
+		if !ok {
+			if p.stop.Load() {
+				return
+			}
+			parked := false
+			for pass := 0; pass < spinPasses; pass++ {
+				runtime.Gosched()
+				if b, ok = w.in.TryPop(); ok {
+					break
+				}
+				if p.stop.Load() {
+					return
+				}
+			}
+			if !ok {
+				w.sleeping.Store(true)
+				if b, ok = w.in.TryPop(); !ok && !p.stop.Load() {
+					<-w.wake
+					parked = true
+				}
+				w.sleeping.Store(false)
+				if !ok {
+					if parked {
+						w.wakeups.Add(1)
+					}
+					continue
+				}
+			}
+		}
+		for j := range b {
+			e := &b[j]
+			ctl.Observe(e.p.Ts, 1)
+			c.ProcessHashedAcc(e.p, e.hash, e.key, &acc)
+		}
+		c.FlushAcc(&acc)
+		// The free ring has the same capacity as the number of buffers in
+		// circulation, so recycling can never fail.
+		w.free.TryPush(b[:0])
+		w.completed.Add(1)
+		if p.routerWaiting.Load() {
+			select {
+			case p.routerWake <- struct{}{}:
+			default:
+			}
+		}
+	}
+}
+
+// pushFull hands the shard's current buffer to its worker, stalling (with
+// yields) if the worker is more than poolDepth batches behind.
+func (p *workerPool) pushFull(si int) {
+	w := &p.workers[si]
+	b := p.bufs[si]
+	if !w.in.TryPush(b) {
+		w.stalls.Add(1)
+		for !w.in.TryPush(b) {
+			runtime.Gosched()
+		}
+	}
+	w.issued++
+	w.batches.Add(1)
+	if d := int64(w.issued - w.completed.Load()); d > w.hwm.Load() {
+		w.hwm.Store(d)
+	}
+	if w.sleeping.Load() {
+		select {
+		case w.wake <- struct{}{}:
+		default:
+		}
+	}
+	p.bufs[si] = p.popFree(si)
+}
+
+// popFree takes a recycled buffer, stalling until the worker returns one.
+func (p *workerPool) popFree(si int) []fanEntry {
+	w := &p.workers[si]
+	b, ok := w.free.TryPop()
+	if !ok {
+		w.stalls.Add(1)
+		for {
+			runtime.Gosched()
+			if b, ok = w.free.TryPop(); ok {
+				break
+			}
+		}
+	}
+	return b
+}
+
+// barrier waits until every worker has drained everything the router
+// issued — the drive-end synchronisation point. Spin-then-park like the
+// workers: usually the tail batches are already in flight and a few
+// yields suffice.
+func (p *workerPool) barrier() {
+	for i := range p.workers {
+		w := &p.workers[i]
+		if w.completed.Load() == w.issued {
+			continue
+		}
+		for pass := 0; pass < spinPasses; pass++ {
+			runtime.Gosched()
+			if w.completed.Load() == w.issued {
+				break
+			}
+		}
+		for w.completed.Load() != w.issued {
+			p.routerWaiting.Store(true)
+			if w.completed.Load() == w.issued {
+				p.routerWaiting.Store(false)
+				break
+			}
+			<-p.routerWake
+			p.routerWaiting.Store(false)
+		}
+	}
+	// Drain any stale router wakeup so the next barrier starts clean.
+	select {
+	case <-p.routerWake:
+	default:
+	}
+}
+
+// run is the pooled fan-out drive: route every packet (hashing it exactly
+// once), hand off full batches, flush partials, and barrier. Final cache
+// state is identical to a sequential ObserveProcess loop — each shard
+// still sees its packets in arrival order and shards share no state.
+func (p *workerPool) run(pkts []packet.Packet) {
+	shift := p.s.shift
+	bufs := p.bufs
+	for i := range bufs {
+		if bufs[i] == nil {
+			bufs[i] = p.popFree(i)
+		}
+	}
+	batch := p.batch
+	for i := range pkts {
+		pkt := &pkts[i]
+		key := pkt.Key()
+		hash := key.Hash()
+		si := int(hash >> shift)
+		b := append(bufs[si], fanEntry{p: pkt, hash: hash, key: key})
+		bufs[si] = b
+		if len(b) == batch {
+			p.pushFull(si)
+		}
+	}
+	for si := range bufs {
+		if len(bufs[si]) > 0 {
+			p.pushFull(si)
+		}
+	}
+	p.barrier()
+}
+
+// Close stops the shard worker pool, releasing its goroutines and
+// buffers. Safe to call on a Sharded that never ran a parallel drive, and
+// idempotent; a later RunParallel / RunParallelBatches restarts the pool
+// lazily. Must not overlap a parallel drive (same single-caller contract
+// as the drives themselves). No finalizers are involved: callers that
+// want the goroutines gone call Close — Session.Close and Platform.Close
+// do.
+func (s *Sharded) Close() {
+	if s.pool != nil {
+		s.pool.close()
+	}
+}
+
+// PoolStats reports the shard workers' ring/stall counters (one entry per
+// shard; nil when the pool has never started). Counters survive Close and
+// accumulate across restarts only within one pool generation — they reset
+// when the pool is rebuilt for a new batch size.
+func (s *Sharded) PoolStats() []PoolShardStats {
+	p := s.pool
+	if p == nil || p.workers == nil {
+		return nil
+	}
+	out := make([]PoolShardStats, len(p.workers))
+	for i := range p.workers {
+		w := &p.workers[i]
+		out[i] = PoolShardStats{
+			RingHWM: w.hwm.Load(),
+			Stalls:  w.stalls.Load(),
+			Batches: w.batches.Load(),
+			Wakeups: w.wakeups.Load(),
+		}
+	}
+	return out
+}

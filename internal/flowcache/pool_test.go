@@ -1,0 +1,181 @@
+package flowcache
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// waitGoroutines polls until the live goroutine count drops to at most
+// want (worker exit is asynchronous after Close returns from wg.Wait —
+// it isn't, wg.Wait means they returned, but the runtime may lag
+// unparking bookkeeping — so poll briefly before failing).
+func waitGoroutines(t *testing.T, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines stuck at %d, want <= %d", runtime.NumGoroutine(), want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestPoolCloseNoLeak drives repeated NewSharded / parallel-drive / Close
+// cycles and checks the goroutine count returns to baseline each time —
+// the pool holds no goroutines after Close and no finalizer is needed.
+func TestPoolCloseNoLeak(t *testing.T) {
+	pkts := shardTrace(4096)
+	base := runtime.NumGoroutine()
+	for cycle := 0; cycle < 5; cycle++ {
+		s := NewSharded(4, DefaultConfig(8), ControllerConfig{})
+		s.RunParallelBatches(pkts, 64)
+		s.RunParallel(pkts, 64)
+		s.Close()
+		waitGoroutines(t, base)
+	}
+}
+
+// TestPoolCloseIdempotentAndRestart checks Close on a never-started pool
+// is a no-op, double Close is safe, and a drive after Close lazily
+// restarts the workers and still produces sequential-identical state.
+func TestPoolCloseIdempotentAndRestart(t *testing.T) {
+	pkts := shardTrace(8192)
+
+	fresh := NewSharded(4, DefaultConfig(8), ControllerConfig{})
+	fresh.Close() // never ran: nothing to stop
+	fresh.Close()
+
+	s := NewSharded(4, DefaultConfig(8), ControllerConfig{})
+	s.RunParallelBatches(pkts[:4096], 64)
+	s.Close()
+	s.Close()
+	s.RunParallelBatches(pkts[4096:], 64) // restarts lazily
+	s.Close()
+
+	seq := NewSharded(4, DefaultConfig(8), ControllerConfig{})
+	for i := range pkts {
+		seq.ObserveProcess(&pkts[i])
+	}
+	want, got := dumpState(seq), dumpState(s)
+	if want != got {
+		t.Fatalf("state after close/restart diverged from sequential: %s", firstDiff(want, got))
+	}
+}
+
+// TestPoolSpawnBaselineMatches keeps the spawn-per-call A/B baseline
+// honest: RunParallelBatchesSpawn must produce the same final state as
+// the pooled fan-out and the sequential drive, and must leave no
+// goroutines behind (its workers die with the call).
+func TestPoolSpawnBaselineMatches(t *testing.T) {
+	pkts := shardTrace(8192)
+	base := runtime.NumGoroutine()
+
+	sp := NewSharded(4, DefaultConfig(8), ControllerConfig{})
+	sp.RunParallelBatchesSpawn(pkts, 64)
+	waitGoroutines(t, base)
+
+	seq := NewSharded(4, DefaultConfig(8), ControllerConfig{})
+	for i := range pkts {
+		seq.ObserveProcess(&pkts[i])
+	}
+	if want, got := dumpState(seq), dumpState(sp); want != got {
+		t.Fatalf("spawn baseline diverged from sequential: %s", firstDiff(want, got))
+	}
+}
+
+// TestPoolSteadyStateAllocFree asserts the acceptance criterion directly:
+// after the first (pool-creating) call, a parallel drive performs zero
+// allocations — no goroutine spawns, no channels, no buffers — and the
+// goroutine count stays flat across calls.
+func TestPoolSteadyStateAllocFree(t *testing.T) {
+	pkts := shardTrace(16384)
+	s := NewSharded(4, DefaultConfig(8), ControllerConfig{})
+	defer s.Close()
+	s.RunParallelBatches(pkts, 256) // warm-up: creates the pool
+
+	before := runtime.NumGoroutine()
+	if avg := testing.AllocsPerRun(5, func() {
+		s.RunParallelBatches(pkts, 256)
+	}); avg != 0 {
+		t.Fatalf("steady-state RunParallelBatches allocates %.1f objects/call, want 0", avg)
+	}
+	if after := runtime.NumGoroutine(); after != before {
+		t.Fatalf("goroutine count moved %d -> %d across steady-state drives", before, after)
+	}
+
+	// The RunParallel alias rides the same pool: also alloc-free once the
+	// pool has seen its batch size.
+	s.RunParallel(pkts, 256)
+	if avg := testing.AllocsPerRun(5, func() {
+		s.RunParallel(pkts, 256)
+	}); avg != 0 {
+		t.Fatalf("steady-state RunParallel allocates %.1f objects/call, want 0", avg)
+	}
+}
+
+// TestPoolBatchResize drives the same cache at two batch sizes: the pool
+// rebuilds its buffers in between and state still matches sequential.
+func TestPoolBatchResize(t *testing.T) {
+	pkts := shardTrace(8192)
+	s := NewSharded(4, DefaultConfig(8), ControllerConfig{})
+	defer s.Close()
+	s.RunParallelBatches(pkts[:4096], 64)
+	s.RunParallelBatches(pkts[4096:], 256)
+
+	seq := NewSharded(4, DefaultConfig(8), ControllerConfig{})
+	for i := range pkts {
+		seq.ObserveProcess(&pkts[i])
+	}
+	want, got := dumpState(seq), dumpState(s)
+	if want != got {
+		t.Fatalf("state after batch resize diverged from sequential: %s", firstDiff(want, got))
+	}
+}
+
+// TestPoolStats sanity-checks the observability counters: batches flow,
+// the high-water mark is positive once batches queued, and stats survive
+// until a resize.
+func TestPoolStats(t *testing.T) {
+	pkts := shardTrace(16384)
+	s := NewSharded(4, DefaultConfig(8), ControllerConfig{})
+	defer s.Close()
+	if got := s.PoolStats(); got != nil {
+		t.Fatalf("PoolStats before any drive = %v, want nil", got)
+	}
+	s.RunParallelBatches(pkts, 64)
+	st := s.PoolStats()
+	if len(st) != 4 {
+		t.Fatalf("PoolStats len = %d, want 4", len(st))
+	}
+	var batches uint64
+	for i, w := range st {
+		batches += w.Batches
+		if w.Batches > 0 && w.RingHWM < 1 {
+			t.Errorf("shard %d: %d batches handed off but ring HWM %d", i, w.Batches, w.RingHWM)
+		}
+	}
+	// 16384 packets over 4 shards at batch 64: at least 16384/64 handoffs
+	// (partials can only add more).
+	if batches < 16384/64 {
+		t.Errorf("total batches = %d, want >= %d", batches, 16384/64)
+	}
+}
+
+// TestPoolSingleShardStaysInline ensures shards=1 keeps the sequential
+// fast path: no pool, no goroutines.
+func TestPoolSingleShardStaysInline(t *testing.T) {
+	pkts := shardTrace(1024)
+	s := NewSharded(1, DefaultConfig(8), ControllerConfig{})
+	s.RunParallelBatches(pkts, 64)
+	if s.pool != nil {
+		t.Fatal("shards=1 drive created a worker pool")
+	}
+	if got := s.PoolStats(); got != nil {
+		t.Fatalf("PoolStats = %v, want nil at shards=1", got)
+	}
+}

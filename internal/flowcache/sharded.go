@@ -31,6 +31,9 @@ type Sharded struct {
 	// index; 64 when n == 1 (Go defines x>>64 == 0 for uint64).
 	shift uint
 	base  Config
+	// pool is the persistent shard worker pool (pool.go), created lazily
+	// on the first parallel drive and reused until Close.
+	pool *workerPool
 
 	// OnModeSwitch, when set, observes every per-shard mode flip. With
 	// RunParallel it may be called from multiple shard workers
@@ -104,18 +107,25 @@ func (s *Sharded) ShardOf(hash uint64) int { return s.shardOf(hash) }
 
 // Process runs the packet through its owning shard WITHOUT touching the
 // rate controller — the raw datapath operation, matching Cache.Process.
+// The hash computed for shard selection is reused by the shard (each
+// packet is canonicalised and hashed exactly once).
 func (s *Sharded) Process(p *packet.Packet) (*Record, Result) {
-	return s.shards[s.shardOf(p.Hash())].Process(p)
+	key := p.Key()
+	hash := key.Hash()
+	return s.shards[s.shardOf(hash)].ProcessHashed(p, hash, key)
 }
 
 // ObserveProcess is the per-packet datapath step the platform runs: the
 // owning shard's controller observes the arrival (possibly flipping that
 // shard's mode), then the shard processes the packet. Matches the legacy
-// Observe-then-Process order exactly.
+// Observe-then-Process order exactly; the shard-selection hash is reused
+// by the shard so the packet is hashed once, not twice.
 func (s *Sharded) ObserveProcess(p *packet.Packet) (*Record, Result) {
-	i := s.shardOf(p.Hash())
+	key := p.Key()
+	hash := key.Hash()
+	i := s.shardOf(hash)
 	s.ctls[i].Observe(p.Ts, 1)
-	return s.shards[i].Process(p)
+	return s.shards[i].ProcessHashed(p, hash, key)
 }
 
 // ObserveProcessHashed is ObserveProcess for the batched datapath: the
@@ -241,67 +251,38 @@ func (s *Sharded) Switchovers() uint64 {
 	return n
 }
 
-// RunParallel processes pkts with one worker goroutine per shard: a
-// router walks the slice in order and hands each packet to its owning
-// shard's queue, where the worker runs the ObserveProcess step. Because
-// shards share no rows and each shard still sees ITS packets in arrival
-// order, the final cache state is identical to a sequential
-// ObserveProcess loop over the same slice — the determinism the
-// `make shards` CI job checks under -race. queue is the per-shard channel
-// depth (≤0 means 256). Returns the number of packets processed.
+// RunParallel processes pkts with one persistent worker goroutine per
+// shard (pool.go): a router walks the slice in order, computes each
+// packet's flow identity once, and hands batches to the owning shard's
+// worker over SPSC rings. Because shards share no rows and each shard
+// still sees ITS packets in arrival order, the final cache state is
+// identical to a sequential ObserveProcess loop over the same slice —
+// the determinism the `make shards` CI job checks under -race. queue is
+// the per-shard handoff batch size (≤0 means 256; it was the channel
+// depth before the pool, and keeps the same default). Returns the number
+// of packets processed.
 func (s *Sharded) RunParallel(pkts []packet.Packet, queue int) uint64 {
-	if len(s.shards) == 1 {
-		for i := range pkts {
-			s.ObserveProcess(&pkts[i])
-		}
-		return uint64(len(pkts))
-	}
-	if queue <= 0 {
-		queue = 256
-	}
-	chans := make([]chan *packet.Packet, len(s.shards))
-	var wg sync.WaitGroup
-	for i := range s.shards {
-		chans[i] = make(chan *packet.Packet, queue)
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			ctl, c := s.ctls[i], s.shards[i]
-			for p := range chans[i] {
-				ctl.Observe(p.Ts, 1)
-				c.Process(p)
-			}
-		}(i)
-	}
-	for i := range pkts {
-		p := &pkts[i]
-		chans[s.shardOf(p.Hash())] <- p
-	}
-	for _, ch := range chans {
-		close(ch)
-	}
-	wg.Wait()
-	return uint64(len(pkts))
+	return s.RunParallelBatches(pkts, queue)
 }
 
-// fanoutDepth is the number of batch buffers in flight per shard in
-// RunParallelBatches: one being filled by the router, one being drained
-// by the worker, one queued.
-const fanoutDepth = 3
-
-// RunParallelBatches is RunParallel with the per-packet channel send —
-// BENCH_2's measured sharded4 overhead — replaced by one slice handoff
-// per shard per batch. The router walks pkts in order, appends each
-// packet to its owning shard's buffer and hands the buffer over when it
-// reaches batch packets (≤0 means 256); buffers recycle through a
-// per-shard free list, so the steady state allocates nothing and
-// performs two channel operations per batch instead of one per packet.
-// Workers also batch their stat flush through a BatchAcc.
+// RunParallelBatches processes pkts through the persistent shard worker
+// pool in batches of batch packets per handoff (≤0 means 256). The pool
+// is created lazily on the first call and reused by every subsequent
+// drive: a steady-state call spawns no goroutines, allocates nothing and
+// performs no channel operations — full batches and recycled buffers
+// flow through per-shard SPSC rings, and workers park on a wake channel
+// only when the stream goes idle. The router computes each packet's
+// canonical key and flow hash exactly once and ships both through the
+// handoff, so workers never re-canonicalise; workers batch their stat
+// flush through a BatchAcc.
 //
-// Determinism matches RunParallel: each shard still sees its packets in
-// arrival order, and shards share no state, so the final cache state is
-// identical to a sequential ObserveProcess loop. Returns the number of
-// packets processed.
+// Determinism: each shard still sees its packets in arrival order, and
+// shards share no state, so the final cache state is identical to a
+// sequential ObserveProcess loop. Returns the number of packets
+// processed.
+//
+// Single-caller contract (unchanged): at most one goroutine may drive
+// RunParallel/RunParallelBatches at a time.
 func (s *Sharded) RunParallelBatches(pkts []packet.Packet, batch int) uint64 {
 	if batch <= 0 {
 		batch = 256
@@ -320,51 +301,65 @@ func (s *Sharded) RunParallelBatches(pkts []packet.Packet, batch int) uint64 {
 		c.FlushAcc(&acc)
 		return uint64(len(pkts))
 	}
-	n := len(s.shards)
-	full := make([]chan []*packet.Packet, n)
-	free := make([]chan []*packet.Packet, n)
-	var wg sync.WaitGroup
-	for i := 0; i < n; i++ {
-		full[i] = make(chan []*packet.Packet, fanoutDepth)
-		free[i] = make(chan []*packet.Packet, fanoutDepth)
-		store := make([]*packet.Packet, fanoutDepth*batch)
-		for j := 0; j < fanoutDepth; j++ {
-			free[i] <- store[j*batch : j*batch : (j+1)*batch]
-		}
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			ctl, c := s.ctls[i], s.shards[i]
-			var acc BatchAcc
-			for b := range full[i] {
-				for _, p := range b {
-					key := p.Key()
-					ctl.Observe(p.Ts, 1)
-					c.ProcessHashedAcc(p, key.Hash(), key, &acc)
-				}
-				c.FlushAcc(&acc)
-				free[i] <- b[:0]
-			}
-		}(i)
+	if len(pkts) == 0 {
+		return 0
 	}
-	bufs := make([][]*packet.Packet, n)
+	s.ensurePool(batch).run(pkts)
+	return uint64(len(pkts))
+}
+
+// RunParallelBatchesSpawn is the pre-pool fan-out, retained as the A/B
+// baseline for the persistent worker pool: every call spawns one
+// goroutine and one buffered channel per shard and allocates fresh batch
+// buffers, exactly what RunParallelBatches did before pool.go. Results
+// are identical (same per-shard arrival order, hoisted hashing,
+// amortised stat flush); only the per-call setup cost differs, which is
+// the delta cmd/bench's spawn-vs-pool micros track. Not a production
+// path — use RunParallelBatches.
+func (s *Sharded) RunParallelBatchesSpawn(pkts []packet.Packet, batch int) uint64 {
+	if batch <= 0 {
+		batch = 256
+	}
+	if len(s.shards) == 1 {
+		return s.RunParallelBatches(pkts, batch)
+	}
+	chans := make([]chan []fanEntry, len(s.shards))
+	var wg sync.WaitGroup
+	for i := range s.shards {
+		chans[i] = make(chan []fanEntry, poolDepth)
+		wg.Add(1)
+		go func(c *Cache, ctl *Controller, in <-chan []fanEntry) {
+			defer wg.Done()
+			var acc BatchAcc
+			for b := range in {
+				for _, e := range b {
+					ctl.Observe(e.p.Ts, 1)
+					c.ProcessHashedAcc(e.p, e.hash, e.key, &acc)
+				}
+			}
+			c.FlushAcc(&acc)
+		}(s.shards[i], s.ctls[i], chans[i])
+	}
+	bufs := make([][]fanEntry, len(s.shards))
 	for i := range bufs {
-		bufs[i] = <-free[i]
+		bufs[i] = make([]fanEntry, 0, batch)
 	}
 	for i := range pkts {
 		p := &pkts[i]
-		si := s.shardOf(p.Hash())
-		bufs[si] = append(bufs[si], p)
-		if len(bufs[si]) == batch {
-			full[si] <- bufs[si]
-			bufs[si] = <-free[si]
+		key := p.Key()
+		hash := key.Hash()
+		sh := s.shardOf(hash)
+		bufs[sh] = append(bufs[sh], fanEntry{p: p, hash: hash, key: key})
+		if len(bufs[sh]) == batch {
+			chans[sh] <- bufs[sh]
+			bufs[sh] = make([]fanEntry, 0, batch)
 		}
 	}
-	for i := 0; i < n; i++ {
-		if len(bufs[i]) > 0 {
-			full[i] <- bufs[i]
+	for i, b := range bufs {
+		if len(b) > 0 {
+			chans[i] <- b
 		}
-		close(full[i])
+		close(chans[i])
 	}
 	wg.Wait()
 	return uint64(len(pkts))
