@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race shards policies pipeline check bench profile experiments metrics-smoke serve-smoke clean
+.PHONY: all build vet test race shards policies pipeline cluster check bench profile experiments metrics-smoke serve-smoke clean
 
 all: check
 
@@ -52,6 +52,17 @@ policies:
 	$(GO) vet ./...
 	$(GO) test -race -run 'Policy|S3FIFO|Controller|Adaptive|Feedback|CleanRowsBounded' ./internal/flowcache/
 	$(GO) run ./cmd/experiments -scale 0.1 policies
+
+# Cluster gate (DESIGN.md §14): the full cluster runner suite under the
+# race detector — the two-oracle determinism sweep (parallel drive
+# byte-identical to the sequential reference, integer surface equal to
+# the single-platform partition twin), hazard-asserted schedules,
+# failure injection (worker crash, stall, load-policy route-around) and
+# the merged-report/metrics contract. The oracle sweep replays whole
+# clusters many times; allow a generous timeout on slow boxes.
+cluster:
+	$(GO) vet ./...
+	$(GO) test -race -timeout 45m ./internal/cluster/
 
 check: vet build test race
 

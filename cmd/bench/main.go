@@ -7,8 +7,12 @@
 //   - micro: the FlowCache Process hot path, the sNIC dispatch loop, the
 //     buffered stream bridge, the sharded FlowCache datapath (sequential
 //     vs pooled workers vs spawn-per-call fan-out, 64k packets per op)
-//     and end-to-end session ingest (sequential vs pipelined drive), via
-//     testing.Benchmark (ns/op, allocs/op);
+//     end-to-end session ingest (sequential vs pipelined drive), the
+//     cluster steering decision and the cluster drive at 1/2/4 workers,
+//     via testing.Benchmark (ns/op, allocs/op); micros whose parallelism
+//     cannot exist on the current box (pipelined ingest, multi-worker
+//     cluster drives on GOMAXPROCS=1) are skipped and noted rather than
+//     measured as noise;
 //   - macro: wall-clock for the full `experiments all` sweep at a small
 //     scale, sequential vs parallel, plus the resulting speedup.
 //
@@ -35,6 +39,7 @@ import (
 	"testing"
 	"time"
 
+	"smartwatch/internal/cluster"
 	"smartwatch/internal/core"
 	"smartwatch/internal/experiments"
 	"smartwatch/internal/flowcache"
@@ -303,6 +308,7 @@ func main() {
 	// (sharded platform), sequential vs pipelined. The session — and so the
 	// prep worker and any pool goroutines — persists across ops, measuring
 	// the steady state the -serve daemon runs in.
+	multiCore := runtime.GOMAXPROCS(0) >= 2
 	for _, sc := range []struct {
 		name      string
 		pipelined bool
@@ -310,6 +316,14 @@ func main() {
 		{"session_ingest_64k", false},
 		{"session_ingest_pipelined_64k", true},
 	} {
+		if sc.pipelined && !multiCore {
+			// The pipelined drive needs a second core for the prep worker to
+			// overlap with; on one core the micro only measures scheduler
+			// churn and poisons -compare across box sizes.
+			snap.Notes = append(snap.Notes, sc.name+" skipped: GOMAXPROCS=1, no prep/stateful overlap possible")
+			fmt.Fprintf(os.Stderr, "bench: %s skipped (GOMAXPROCS=1)\n", sc.name)
+			continue
+		}
 		fmt.Fprintf(os.Stderr, "bench: session ingest, pipelined=%v (64k pkts/op, batch=64) ...\n", sc.pipelined)
 		spkts := append([]packet.Packet(nil), pkts...)
 		pl := core.New(core.Config{IntervalNs: 100e6, Shards: 4, BatchSize: 64, Pipelined: sc.pipelined})
@@ -338,6 +352,69 @@ func main() {
 			os.Exit(1)
 		}
 		if err := ses.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+	}
+
+	// Steering decision in isolation: canonical flow key + hash + top-bits
+	// worker pick — the per-packet cost the shared tier adds before any
+	// queueing. The sink defeats dead-code elimination.
+	fmt.Fprintln(os.Stderr, "bench: cluster steer hash ...")
+	var steerSink uint64
+	snap.Micro["cluster_steer_hash"] = toMicro(testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			p := &pkts[i&(len(pkts)-1)]
+			steerSink += p.Key().Hash() >> 62 // 4-worker shift
+		}
+	}))
+	if steerSink == ^uint64(0) {
+		fmt.Fprintln(os.Stderr, "bench: impossible steer sink")
+	}
+
+	// Cluster drive: one op pushes the 64k slice through a live cluster
+	// runner in 512-packet vectors; the runner (feeders, rings, recycled
+	// buffers) persists across ops, so the number is the steady-state
+	// fan-out cost. w1 is the ring+feeder overhead over a plain session;
+	// w2/w4 divide into the parallel speedup (skipped on a single-core box,
+	// where no worker overlap is possible).
+	for _, w := range []int{1, 2, 4} {
+		name := fmt.Sprintf("cluster_drive_64k_w%d", w)
+		if w > 1 && !multiCore {
+			snap.Notes = append(snap.Notes, name+" skipped: GOMAXPROCS=1, no worker overlap possible")
+			fmt.Fprintf(os.Stderr, "bench: %s skipped (GOMAXPROCS=1)\n", name)
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "bench: cluster drive, workers=%d (64k pkts/op, batch=64) ...\n", w)
+		spkts := append([]packet.Packet(nil), pkts...)
+		wc := core.Config{IntervalNs: 100e6, BatchSize: 64}
+		wc.Cache = flowcache.DefaultConfig(12) // rows split W ways, total capacity constant
+		cl := cluster.New(cluster.Config{Workers: w, Worker: wc})
+		if err := cl.Start(); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		snap.Micro[name] = toMicro(testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				span := int64(len(spkts))
+				for j := range spkts {
+					spkts[j].Ts += span // keep virtual time monotonic across ops
+				}
+				for lo := 0; lo < len(spkts); lo += 512 {
+					hi := min(lo+512, len(spkts))
+					if err := cl.Ingest(spkts[lo:hi]); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}))
+		if _, err := cl.Drain(); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		if err := cl.Close(); err != nil {
 			fmt.Fprintln(os.Stderr, "bench:", err)
 			os.Exit(1)
 		}

@@ -21,6 +21,7 @@ import (
 	"os/signal"
 	"strings"
 
+	"smartwatch/internal/cluster"
 	"smartwatch/internal/core"
 	"smartwatch/internal/detect"
 	"smartwatch/internal/flowcache"
@@ -56,6 +57,8 @@ func main() {
 		genRate     = flag.Float64("gen-rate", 0, "wall-clock pacing for -gen in packets/sec (0 = as fast as consumed)")
 		genMax      = flag.Int64("gen-max", 0, "stop the generator after this many packets (0 = unbounded)")
 		kvRetention = flag.Int("kv-retention", 0, "keep at most N flow-log intervals resident (0 = unbounded; -serve defaults to 64 to bound the heap)")
+		workers     = flag.Int("workers", 1, "parallel platform workers behind one shared steering tier (power of two; cache capacity is split, not multiplied)")
+		steer       = flag.String("steer", "hash", "cluster steering policy: hash (deterministic consistent hashing) or load (ring-successor load spill; not reproducible)")
 	)
 	flag.Parse()
 	if *in == "" && *gen == "" {
@@ -94,6 +97,14 @@ func main() {
 		cfg.EnableSwitch = true
 		cfg.Queries = defaultQueries()
 	}
+	steerPolicy, err := cluster.ParseSteerPolicy(*steer)
+	if err != nil {
+		fatal(err)
+	}
+	if *workers < 1 || *workers&(*workers-1) != 0 {
+		fatal(fmt.Errorf("-workers must be a power of two, got %d", *workers))
+	}
+	cfg.Workers = *workers
 	var metricsFile *os.File
 	if *metricsOut != "" || *expvarAddr != "" || *serve {
 		cfg.Metrics = obs.NewRegistry()
@@ -125,12 +136,30 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		pl := core.New(cfg)
-		pl.KV().SetRetention(*kvRetention)
 		chunk := 512
 		if cfg.BatchSize > 1 {
 			chunk = ((chunk + cfg.BatchSize - 1) / cfg.BatchSize) * cfg.BatchSize
 		}
+		if *workers > 1 {
+			cl := buildCluster(cfg, *workers, steerPolicy, *detectors)
+			for _, wpl := range cl.Workers() {
+				wpl.KV().SetRetention(*kvRetention)
+			}
+			d := newClusterDaemon(cl, src, chunk)
+			d.registerControlAPI()
+			if err := serveExpvar(addr, cfg.Metrics); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "smartwatch: serving control API at http://%s/control/status (SIGTERM to drain)\n", addr)
+			if _, err := d.run(); err != nil {
+				fatal(err)
+			}
+			printClusterReport(cl, d.clRep, *verbose)
+			finishClusterOutputs(cl, d.clRep, *ipfixOut, *emitP4, metricsFile, *metricsOut)
+			return
+		}
+		pl := core.New(cfg)
+		pl.KV().SetRetention(*kvRetention)
 		d := newDaemon(pl, src, chunk)
 		d.registerControlAPI()
 		if err := serveExpvar(addr, cfg.Metrics); err != nil {
@@ -160,6 +189,32 @@ func main() {
 			fatal(err)
 		}
 	}
+	if *workers > 1 {
+		// Cluster mode: one shared steering tier fanning out to N platform
+		// workers. Runner.Run buffers the stream itself (recycled vectors),
+		// so the raw pcap stream goes in undecorated.
+		cl := buildCluster(cfg, *workers, steerPolicy, *detectors)
+		if *kvRetention > 0 {
+			for _, wpl := range cl.Workers() {
+				wpl.KV().SetRetention(*kvRetention)
+			}
+		}
+		crep, err := cl.Run(pcap.ReadStream(r))
+		if err != nil {
+			fatal(err)
+		}
+		if err := cl.Close(); err != nil {
+			fatal(err)
+		}
+		printClusterReport(cl, crep, *verbose)
+		if skipped := r.Skipped(); skipped > 0 {
+			fmt.Fprintf(os.Stderr, "note: %d undecodable frames skipped\n", skipped)
+		}
+		finishClusterOutputs(cl, crep, *ipfixOut, *emitP4, metricsFile, *metricsOut)
+		lingerExpvar(*expvarAddr)
+		return
+	}
+
 	pl := core.New(cfg)
 	if *kvRetention > 0 {
 		pl.KV().SetRetention(*kvRetention)
@@ -178,12 +233,41 @@ func main() {
 	}
 
 	finishOutputs(pl, *ipfixOut, *emitP4, metricsFile, *metricsOut)
-	if *expvarAddr != "" {
-		fmt.Fprintf(os.Stderr, "expvar: serving final metrics at http://%s/debug/vars (Ctrl-C to exit)\n", *expvarAddr)
-		ch := make(chan os.Signal, 1)
-		signal.Notify(ch, os.Interrupt)
-		<-ch
+	lingerExpvar(*expvarAddr)
+}
+
+// lingerExpvar keeps the process alive after a batch run so the -expvar
+// endpoint stays queryable until interrupted.
+func lingerExpvar(addr string) {
+	if addr == "" {
+		return
 	}
+	fmt.Fprintf(os.Stderr, "expvar: serving final metrics at http://%s/debug/vars (Ctrl-C to exit)\n", addr)
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt)
+	<-ch
+}
+
+// buildCluster assembles the cluster runner from the single-platform
+// config: the template keeps the switch fields (the runner lifts them
+// into the shared steering tier) but hands detectors over as a factory —
+// each worker needs its own instances.
+func buildCluster(cfg core.Config, workers int, policy cluster.SteerPolicy, detectorList string) *cluster.Runner {
+	wc := cfg
+	wc.Detectors = nil
+	return cluster.New(cluster.Config{
+		Workers: workers,
+		Worker:  wc,
+		Detectors: func() []detect.Detector {
+			d, err := buildDetectors(detectorList)
+			if err != nil {
+				fatal(err) // already validated at startup; unreachable
+			}
+			return d
+		},
+		Steer:   policy,
+		Metrics: cfg.Metrics,
+	})
 }
 
 // buildSource assembles the daemon's packet source: whole-file pcap,
@@ -218,15 +302,38 @@ func buildSource(in string, follow bool, gen string, repeat int, rate float64, m
 // printReport renders the end-of-run summary (both batch and daemon
 // modes).
 func printReport(pl *core.Platform, rep core.Report, verbose bool) {
+	printReportCore(pl.Cache().Shard(0).PolicyName(), len(pl.KV().Intervals()), rep, verbose)
+}
+
+// printClusterReport renders the merged view plus the cluster fan-out
+// line (workers share one policy; flow-log intervals are summed across
+// the per-worker KV stores).
+func printClusterReport(cl *cluster.Runner, rep cluster.Report, verbose bool) {
+	workers := cl.Workers()
+	kvIntervals := 0
+	for _, wpl := range workers {
+		kvIntervals += len(wpl.KV().Intervals())
+	}
+	printReportCore(workers[0].Cache().Shard(0).PolicyName(), kvIntervals, rep.Merged, verbose)
+	fmt.Printf("cluster: workers=%d policy=%s imbalance=%.2f resteers=%d folds=%d folded-events=%d merge=%.2f ms\n",
+		len(workers), rep.Steer.Policy, rep.Steer.Imbalance, rep.Steer.Resteers,
+		rep.Steer.Folds, rep.Steer.FoldedEvents, float64(rep.MergeNs)/1e6)
+	for i, ing := range rep.Ingress {
+		fmt.Printf("  worker %d: steered=%d ring-hwm=%d stalls=%d batches=%d\n",
+			i, rep.Steer.PerWorker[i], ing.RingHWM, ing.Stalls, ing.Batches)
+	}
+}
+
+func printReportCore(policy string, kvIntervals int, rep core.Report, verbose bool) {
 	fmt.Printf("packets: total=%d forwarded-direct=%d to-snic=%d to-host=%d blocked=%d dropped-at-switch=%d\n",
 		rep.Counts.Total, rep.Counts.ForwardedDirect, rep.Counts.ToSNIC,
 		rep.Counts.ToHost, rep.Counts.Blocked, rep.Counts.DroppedAtSwitch)
 	fmt.Printf("flowcache: policy=%s processed=%d hit-rate=%.3f evictions=%d ring-drops=%d host-punts=%d mode-switchovers=%d\n",
-		pl.Cache().Shard(0).PolicyName(), rep.Cache.Processed(), rep.Cache.HitRate(),
+		policy, rep.Cache.Processed(), rep.Cache.HitRate(),
 		rep.Cache.Evictions, rep.Cache.RingDrops, rep.Cache.HostPunts, rep.Switchovers)
 	fmt.Printf("snic: achieved=%.2f Mpps p50-latency=%.0f ns p99=%.0f ns loss=%.4f\n",
 		rep.SNIC.AchievedMpps, rep.SNIC.Latency.Percentile(50), rep.SNIC.Latency.Percentile(99), rep.SNIC.LossRate())
-	fmt.Printf("host: cpu=%.2f ms flow-log-intervals=%d\n", rep.HostCPUNs/1e6, len(pl.KV().Intervals()))
+	fmt.Printf("host: cpu=%.2f ms flow-log-intervals=%d\n", rep.HostCPUNs/1e6, kvIntervals)
 	if rep.SwitchStats.Intervals > 0 {
 		fmt.Printf("switch: steered=%d whitelist-hits=%d blacklist-drops=%d\n",
 			rep.SwitchStats.Steered, rep.SwitchStats.WhitelistHits, rep.SwitchStats.BlacklistHits)
@@ -262,17 +369,7 @@ func finishOutputs(pl *core.Platform, ipfixOut, emitP4 string, metricsFile *os.F
 		fmt.Fprintf(os.Stderr, "flow log exported as IPFIX to %s\n", ipfixOut)
 	}
 	if emitP4 != "" {
-		if pl.Switch() == nil {
-			fatal(fmt.Errorf("-emit-p4 requires -switch"))
-		}
-		src := pl.Switch().EmitP4("smartwatch") + "\n// Control-plane entries at end of run:\n"
-		for _, e := range pl.Switch().ControlPlaneEntries() {
-			src += "// " + e + "\n"
-		}
-		if err := os.WriteFile(emitP4, []byte(src), 0o644); err != nil {
-			fatal(err)
-		}
-		fmt.Fprintf(os.Stderr, "P4 program written to %s\n", emitP4)
+		writeP4(pl.Switch(), emitP4)
 	}
 	if err := pl.MetricsErr(); err != nil {
 		fatal(fmt.Errorf("metrics emit: %w", err))
@@ -283,6 +380,69 @@ func finishOutputs(pl *core.Platform, ipfixOut, emitP4 string, metricsFile *os.F
 		}
 		fmt.Fprintf(os.Stderr, "metrics snapshots written to %s\n", metricsOut)
 	}
+}
+
+// finishClusterOutputs is finishOutputs for cluster mode: the IPFIX
+// export walks every worker's flow log through one exporter (lane order,
+// one template set), -emit-p4 reads the shared switch, and -metrics gets
+// a single final merged snapshot — per-interval writers belong to
+// individual platforms, which the cluster strips from its workers.
+func finishClusterOutputs(cl *cluster.Runner, rep cluster.Report, ipfixOut, emitP4 string, metricsFile *os.File, metricsOut string) {
+	if ipfixOut != "" {
+		out, err := os.Create(ipfixOut)
+		if err != nil {
+			fatal(err)
+		}
+		exp := host.NewIPFIXExporter(out, 1)
+		for _, wpl := range cl.Workers() {
+			if err := exp.ExportKV(wpl.KV()); err != nil {
+				fatal(err)
+			}
+		}
+		if err := out.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "flow log exported as IPFIX to %s\n", ipfixOut)
+	}
+	if emitP4 != "" {
+		writeP4(cl.Switch(), emitP4)
+	}
+	if rep.Merged.Metrics != nil {
+		var w *os.File
+		switch {
+		case metricsFile != nil:
+			w = metricsFile
+		case metricsOut == "-":
+			w = os.Stdout
+		}
+		if w != nil {
+			if err := json.NewEncoder(w).Encode(rep.Merged.Metrics); err != nil {
+				fatal(fmt.Errorf("metrics emit: %w", err))
+			}
+		}
+	}
+	if metricsFile != nil {
+		if err := metricsFile.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "final merged metrics snapshot written to %s\n", metricsOut)
+	}
+}
+
+// writeP4 renders the switch query set plus its end-of-run control-plane
+// entries (shared between single-platform and cluster runs).
+func writeP4(sw *p4switch.Switch, path string) {
+	if sw == nil {
+		fatal(fmt.Errorf("-emit-p4 requires -switch"))
+	}
+	src := sw.EmitP4("smartwatch") + "\n// Control-plane entries at end of run:\n"
+	for _, e := range sw.ControlPlaneEntries() {
+		src += "// " + e + "\n"
+	}
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "P4 program written to %s\n", path)
 }
 
 // serveExpvar starts the live metrics endpoint: /debug/vars carries the

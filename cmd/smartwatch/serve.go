@@ -18,16 +18,19 @@ import (
 	"sync"
 	"syscall"
 
+	"smartwatch/internal/cluster"
 	"smartwatch/internal/core"
 	"smartwatch/internal/packet"
 	"smartwatch/internal/tier"
 )
 
-// daemon owns the serve-mode lifecycle: one source, one session, the
-// pause gate and the drain protocol.
+// daemon owns the serve-mode lifecycle: one source, one engine (a
+// single-platform session or a cluster runner — exactly one of ses/cl is
+// set), the pause gate and the drain protocol.
 type daemon struct {
 	pl  *core.Platform
 	ses *core.Session
+	cl  *cluster.Runner
 	src packet.Source
 
 	chunk int
@@ -42,6 +45,7 @@ type daemon struct {
 	drainOnce sync.Once
 	drained   chan struct{}
 	rep       core.Report
+	clRep     cluster.Report
 	drainErr  error
 }
 
@@ -56,11 +60,29 @@ func newDaemon(pl *core.Platform, src packet.Source, chunk int) *daemon {
 	return d
 }
 
+// newClusterDaemon is the -workers > 1 variant: same lifecycle, with the
+// cluster runner standing in for the session.
+func newClusterDaemon(cl *cluster.Runner, src packet.Source, chunk int) *daemon {
+	d := &daemon{
+		cl: cl, src: src, chunk: chunk,
+		ingestDone: make(chan struct{}),
+		drained:    make(chan struct{}),
+	}
+	d.pauseC = sync.NewCond(&d.pauseMu)
+	return d
+}
+
 // run starts the session and ingest loop, blocks until a drain completes
 // (SIGTERM, /control/drain, or source exhaustion), and returns the final
 // report.
 func (d *daemon) run() (core.Report, error) {
-	if err := d.ses.Start(); err != nil {
+	var err error
+	if d.cl != nil {
+		err = d.cl.Start()
+	} else {
+		err = d.ses.Start()
+	}
+	if err != nil {
 		return core.Report{}, err
 	}
 	go d.ingestLoop()
@@ -102,13 +124,23 @@ func (d *daemon) ingestLoop() {
 			d.pauseC.Wait()
 		}
 		d.pauseMu.Unlock()
-		if err := d.ses.Ingest(b); err != nil {
-			if err != core.ErrSessionClosed {
+		if err := d.ingest(b); err != nil {
+			// A drain that started while we were pulling the next batch
+			// closes the engine under us — that's the clean-shutdown path,
+			// not an error.
+			if err != core.ErrSessionClosed && err != cluster.ErrRunnerState {
 				d.ingestErr = err
 			}
 			return
 		}
 	}
+}
+
+func (d *daemon) ingest(b []packet.Packet) error {
+	if d.cl != nil {
+		return d.cl.Ingest(b)
+	}
+	return d.ses.Ingest(b)
 }
 
 // drain runs the graceful-shutdown protocol exactly once: stop the
@@ -120,12 +152,23 @@ func (d *daemon) drain() {
 		d.src.Close()
 		d.setPaused(false)
 		<-d.ingestDone
-		d.rep, d.drainErr = d.ses.Drain()
-		// The session is done: release the platform's persistent workers
-		// (prep goroutine, flowcache shard pool) so the drained daemon
-		// holds no background goroutines while it lingers for reporting.
-		if err := d.pl.Close(); err != nil && d.drainErr == nil {
-			d.drainErr = err
+		if d.cl != nil {
+			d.clRep, d.drainErr = d.cl.Drain()
+			d.rep = d.clRep.Merged
+			// Runner.Drain already tears the feeders and worker sessions
+			// down; Close is the idempotent backstop (and the only teardown
+			// path if the drain itself failed).
+			if err := d.cl.Close(); err != nil && d.drainErr == nil {
+				d.drainErr = err
+			}
+		} else {
+			d.rep, d.drainErr = d.ses.Drain()
+			// The session is done: release the platform's persistent workers
+			// (prep goroutine, flowcache shard pool) so the drained daemon
+			// holds no background goroutines while it lingers for reporting.
+			if err := d.pl.Close(); err != nil && d.drainErr == nil {
+				d.drainErr = err
+			}
 		}
 		close(d.drained)
 	})
@@ -165,6 +208,28 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 }
 
 func (d *daemon) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	if d.cl != nil {
+		status := map[string]any{
+			"state":    d.cl.State().String(),
+			"paused":   d.isPaused(),
+			"ingested": d.cl.Ingested(),
+			"bus":      d.cl.BusStats(),
+			"workers":  len(d.cl.Workers()),
+		}
+		var maxSeq uint64
+		var maxTs int64
+		for _, snap := range d.cl.Snapshots() {
+			if snap != nil && snap.Seq > maxSeq {
+				maxSeq, maxTs = snap.Seq, snap.TsNs
+			}
+		}
+		if maxSeq > 0 {
+			status["intervals"] = maxSeq
+			status["ts_ns"] = maxTs
+		}
+		writeJSON(w, http.StatusOK, status)
+		return
+	}
 	status := map[string]any{
 		"state":    d.ses.State().String(),
 		"paused":   d.isPaused(),
@@ -189,8 +254,14 @@ func (d *daemon) handlePause(pause bool) http.HandlerFunc {
 	}
 }
 
-// handleSnapshot serves the latest interval-boundary delta snapshot.
+// handleSnapshot serves the latest interval-boundary delta snapshot
+// (per-lane array in cluster mode; lanes that haven't closed an interval
+// yet are null).
 func (d *daemon) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
+	if d.cl != nil {
+		writeJSON(w, http.StatusOK, map[string]any{"workers": d.cl.Snapshots()})
+		return
+	}
 	snap := d.ses.Snapshot()
 	if snap == nil {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "no interval closed yet"})
@@ -207,16 +278,22 @@ func (d *daemon) handleWhitelist(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodGet:
 		var entries []string
-		err := d.ses.Exec(func(pl *core.Platform) {
-			if sw := pl.Switch(); sw != nil {
-				for _, k := range sw.WhitelistEntries() {
-					entries = append(entries, k.String())
-				}
+		if d.cl != nil {
+			for _, k := range d.cl.WhitelistEntries() {
+				entries = append(entries, k.String())
 			}
-		})
-		if err != nil {
-			writeJSON(w, http.StatusConflict, map[string]string{"error": err.Error()})
-			return
+		} else {
+			err := d.ses.Exec(func(pl *core.Platform) {
+				if sw := pl.Switch(); sw != nil {
+					for _, k := range sw.WhitelistEntries() {
+						entries = append(entries, k.String())
+					}
+				}
+			})
+			if err != nil {
+				writeJSON(w, http.StatusConflict, map[string]string{"error": err.Error()})
+				return
+			}
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"count": len(entries), "entries": entries})
 	case http.MethodPost:
@@ -225,9 +302,13 @@ func (d *daemon) handleWhitelist(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
 			return
 		}
-		err = d.ses.Exec(func(pl *core.Platform) {
-			pl.Bus().Publish(tier.WhitelistEvent{Key: k, Origin: "control-api"})
-		})
+		if d.cl != nil {
+			err = d.cl.Whitelist(k)
+		} else {
+			err = d.ses.Exec(func(pl *core.Platform) {
+				pl.Bus().Publish(tier.WhitelistEvent{Key: k, Origin: "control-api"})
+			})
+		}
 		if err != nil {
 			writeJSON(w, http.StatusConflict, map[string]string{"error": err.Error()})
 			return
@@ -244,16 +325,22 @@ func (d *daemon) handleBlacklist(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodGet:
 		var entries []string
-		err := d.ses.Exec(func(pl *core.Platform) {
-			if sw := pl.Switch(); sw != nil {
-				for _, a := range sw.BlacklistEntries() {
-					entries = append(entries, a.String())
-				}
+		if d.cl != nil {
+			for _, a := range d.cl.BlacklistEntries() {
+				entries = append(entries, a.String())
 			}
-		})
-		if err != nil {
-			writeJSON(w, http.StatusConflict, map[string]string{"error": err.Error()})
-			return
+		} else {
+			err := d.ses.Exec(func(pl *core.Platform) {
+				if sw := pl.Switch(); sw != nil {
+					for _, a := range sw.BlacklistEntries() {
+						entries = append(entries, a.String())
+					}
+				}
+			})
+			if err != nil {
+				writeJSON(w, http.StatusConflict, map[string]string{"error": err.Error()})
+				return
+			}
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"count": len(entries), "entries": entries})
 	case http.MethodPost:
@@ -262,9 +349,13 @@ func (d *daemon) handleBlacklist(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
 			return
 		}
-		err = d.ses.Exec(func(pl *core.Platform) {
-			pl.Bus().Publish(tier.BlacklistEvent{Addr: a, Origin: "control-api"})
-		})
+		if d.cl != nil {
+			err = d.cl.Blacklist(a)
+		} else {
+			err = d.ses.Exec(func(pl *core.Platform) {
+				pl.Bus().Publish(tier.BlacklistEvent{Addr: a, Origin: "control-api"})
+			})
+		}
 		if err != nil {
 			writeJSON(w, http.StatusConflict, map[string]string{"error": err.Error()})
 			return

@@ -78,10 +78,20 @@ func prepWorker(reqs <-chan prepReq, done chan<- struct{}) {
 // both restart lazily on next use. A no-op while a session is active
 // (the drive owns the workers then); Session.Close calls it after the
 // drain, so a fully closed platform holds no goroutines.
+//
+// Safe for concurrent callers: Session.Close and the -serve drain path
+// (SIGTERM plus /control/drain) can both land here at once, and without
+// serialisation two callers could each pass the prepRunning check and
+// double-close the prep channel, or tear the shard pool down from two
+// goroutines (its running flag and WaitGroup are single-caller). The
+// mutex makes the second caller a no-op, which is the idempotence the
+// double-drain race test locks in.
 func (pl *Platform) ReleaseWorkers() {
 	if pl.sessionBusy.Load() {
 		return
 	}
+	pl.releaseMu.Lock()
+	defer pl.releaseMu.Unlock()
 	if pl.prepRunning {
 		close(pl.prepReq)
 		pl.prepRunning = false

@@ -19,6 +19,7 @@ package core
 import (
 	"io"
 	"iter"
+	"sync"
 	"sync/atomic"
 
 	"smartwatch/internal/container"
@@ -42,6 +43,22 @@ type Config struct {
 	// (power of two; 0 or 1 means unsharded). Total capacity is invariant:
 	// each shard gets RowBits-log2(Shards) row bits.
 	Shards int
+	// Workers is the cluster width this config is meant to drive (power of
+	// two; 0 or 1 means a single platform). The Platform itself ignores it
+	// — one Platform is always one worker — but cmd/smartwatch and the
+	// cluster runner (internal/cluster) read it to decide whether to build
+	// a cluster.Runner of this many workers in front of one shared switch
+	// tier.
+	Workers int
+	// ShardHashOffsetBits shifts the FlowCache's shard-selection bits this
+	// many positions down from the top of the flow hash. Zero for a
+	// standalone platform. The cluster runner sets it to log2(Workers) on
+	// each worker so that (worker index, worker-internal shard index)
+	// together consume exactly the top log2(Workers·Shards) hash bits — the
+	// same flow islands a single Workers·Shards-way sharded platform forms,
+	// which is what makes the cluster's single-platform determinism oracle
+	// exact.
+	ShardHashOffsetBits int
 	// SNIC is the datapath simulation config.
 	SNIC snic.Config
 	// EnableSwitch turns the P4 switch tier on; without it every packet
@@ -152,6 +169,11 @@ type Platform struct {
 	// (session.go); Run is itself a session internally.
 	session     *Session
 	sessionBusy atomic.Bool
+	// releaseMu serialises concurrent ReleaseWorkers calls: Session.Close
+	// and a -serve SIGTERM drain may both reach the release path at once,
+	// and the prep-channel close plus the shard pool teardown are not
+	// individually reentrant (see pipeline.go).
+	releaseMu sync.Mutex
 
 	// prepReq / prepDone / prepRunning are the pipelined drive's
 	// persistent identity-prefetch worker (pipeline.go); prepChunks and
@@ -224,7 +246,7 @@ func New(cfg Config) *Platform {
 		cfg.BatchSize = 1
 	}
 	pl := &Platform{cfg: cfg, bus: tier.NewBus()}
-	pl.cache = flowcache.NewSharded(cfg.Shards, cfg.Cache, cfg.Controller)
+	pl.cache = flowcache.NewShardedOffset(cfg.Shards, cfg.ShardHashOffsetBits, cfg.Cache, cfg.Controller)
 	pl.store = host.NewFlowStore(cfg.HostCost)
 	pl.kv = cfg.KVLog
 	if pl.kv == nil {
@@ -371,6 +393,16 @@ func (pl *Platform) Blacklist(a packet.Addr) {
 }
 
 // -------------------------------------------------------------------------
+
+// AdvanceClock runs every detector tick and interval close due at or
+// before ts, exactly as the arrival of a packet stamped ts would. The
+// cluster runner calls it (through Session.Exec, so it lands on the drive
+// goroutine at a packet boundary) on each worker before draining: workers
+// only see their steered substream, so without this a worker whose last
+// packet predates the global maximum timestamp would close fewer
+// intervals than its peers and the merged flow log would disagree with
+// the single-platform drive on final-flush timestamps.
+func (pl *Platform) AdvanceClock(ts int64) { pl.maybeTick(ts) }
 
 // maybeTick runs timer work due at or before ts.
 func (pl *Platform) maybeTick(ts int64) {

@@ -69,6 +69,45 @@ func burstTrace(n int) []packet.Packet {
 	return pkts
 }
 
+// TestReleaseWorkersConcurrentClose: the -serve double-drain shape —
+// several Session.Close calls (SIGTERM plus /control/drain plus a
+// deferred cleanup) racing each other and a bare Platform.ReleaseWorkers.
+// Every path funnels into ReleaseWorkers, whose releaseMu makes the
+// losers no-ops instead of double-closing the prep channel or tearing
+// the shard pool down twice. Run under -race.
+func TestReleaseWorkersConcurrentClose(t *testing.T) {
+	pl := New(Config{Shards: 2, IntervalNs: 50e6, BatchSize: 64, Pipelined: true})
+	pkts := burstTrace(4_096)
+	for iter := 0; iter < 50; iter++ {
+		ses := pl.NewSession()
+		if err := ses.Start(); err != nil {
+			t.Fatal(err)
+		}
+		if err := ses.Ingest(pkts); err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for c := 0; c < 4; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if err := ses.Close(); err != nil {
+					t.Errorf("concurrent Close: %v", err)
+				}
+			}()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			pl.ReleaseWorkers()
+		}()
+		wg.Wait()
+		if got := ses.State(); got != SessionDone {
+			t.Fatalf("iter %d: state after concurrent Close = %v, want done", iter, got)
+		}
+	}
+}
+
 // TestPlatformShardWorkersPublishRace: parallel shard workers process
 // packets while their controllers publish mode-switch events onto the
 // platform bus — the cross-goroutine path the bus mutex exists for.

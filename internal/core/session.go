@@ -29,6 +29,7 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"iter"
 	"sync"
 	"sync/atomic"
@@ -49,6 +50,14 @@ var ErrSessionState = errors.New("core: session in wrong state")
 // ErrSessionActive is returned by Start when the platform already has a
 // running session (a platform drives at most one at a time).
 var ErrSessionActive = errors.New("core: platform already has an active session")
+
+// ErrDriveFailed wraps a panic that escaped the drive goroutine (a
+// crashing detector, a corrupted stage). The session converts it into an
+// error instead of killing the process: Ingest/Exec callers get
+// ErrSessionClosed, Drain returns the wrapped panic, and the cluster
+// runner surfaces it as a typed per-worker failure without deadlocking
+// its ingress backpressure.
+var ErrDriveFailed = errors.New("core: session drive failed")
 
 // SessionState is the lifecycle phase of a Session.
 type SessionState int32
@@ -140,7 +149,10 @@ type Session struct {
 	result   chan Report
 
 	final   Report
-	snap    atomic.Pointer[IntervalSnapshot]
+	// driveErr records a recovered drive-goroutine panic; written before
+	// finished closes, read by Drain after the result arrives.
+	driveErr error
+	snap     atomic.Pointer[IntervalSnapshot]
 	ingested atomic.Uint64
 
 	// previous-interval baselines for delta computation (drive-goroutine
@@ -253,8 +265,19 @@ func (s *Session) Exec(fn func(*Platform)) error {
 	op := ctlOp{fn: fn, done: make(chan struct{})}
 	select {
 	case s.ctl <- op:
-		<-op.done
-		return nil
+		select {
+		case <-op.done:
+			return nil
+		case <-s.finished:
+			// The drive stopped (or crashed inside fn) before signalling
+			// completion. Prefer the completion signal if it raced in.
+			select {
+			case <-op.done:
+				return nil
+			default:
+			}
+			return ErrSessionClosed
+		}
 	case <-s.finished:
 		return ErrSessionClosed
 	}
@@ -289,6 +312,7 @@ func (s *Session) Drain() (Report, error) {
 	s.ioMu.Unlock()
 
 	rep := <-s.result
+	err := s.driveErr // written before finished closed; result receive orders the read
 
 	s.mu.Lock()
 	s.final = rep
@@ -297,7 +321,7 @@ func (s *Session) Drain() (Report, error) {
 
 	s.pl.session = nil
 	s.pl.sessionBusy.Store(false)
-	return rep, nil
+	return rep, err
 }
 
 // Report returns the final report after Drain (zero Report, false before).
@@ -336,12 +360,23 @@ func (s *Session) Close() error {
 
 // drive is the session's only worker: it feeds the platform's filter
 // chain (and through it the sNIC engine) from the ingest channel and
-// services control closures whenever no vector is mid-flight.
+// services control closures whenever no vector is mid-flight. A panic
+// anywhere in the drive (a crashing detector, a corrupted stage) is
+// converted into ErrDriveFailed instead of killing the process: without
+// the recover, Ingest callers — a cluster feeder, the -serve ingest loop
+// — would block forever on a session whose drive goroutine is gone.
 func (s *Session) drive() {
-	rep := s.pl.driveBatches(s.vectors())
-	// From here no ingest or control work is accepted; unblock stragglers.
-	close(s.finished)
-	s.result <- rep
+	var rep Report
+	defer func() {
+		if r := recover(); r != nil {
+			s.driveErr = fmt.Errorf("%w: %v", ErrDriveFailed, r)
+		}
+		// From here no ingest or control work is accepted; unblock
+		// stragglers.
+		close(s.finished)
+		s.result <- rep
+	}()
+	rep = s.pl.driveBatches(s.vectors())
 }
 
 // vectors adapts the ingest/control channels into the vector sequence the

@@ -34,6 +34,7 @@ func Registry() []Exp {
 		{"fig10", Fig10Volumetric},
 		{"fig11a", Fig11aMicroburst},
 		{"fig11b", Fig11bThroughput},
+		{"cluster", ClusterScaling},
 		{"policies", PoliciesTable},
 		{"shards", ShardedScaling},
 		{"table2", Table2Resources},

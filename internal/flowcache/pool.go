@@ -313,7 +313,7 @@ func (p *workerPool) barrier() {
 // state is identical to a sequential ObserveProcess loop — each shard
 // still sees its packets in arrival order and shards share no state.
 func (p *workerPool) run(pkts []packet.Packet) {
-	shift := p.s.shift
+	pre, shift := p.s.preshift, p.s.shift
 	bufs := p.bufs
 	for i := range bufs {
 		if bufs[i] == nil {
@@ -325,7 +325,7 @@ func (p *workerPool) run(pkts []packet.Packet) {
 		pkt := &pkts[i]
 		key := pkt.Key()
 		hash := key.Hash()
-		si := int(hash >> shift)
+		si := int(hash << pre >> shift)
 		b := append(bufs[si], fanEntry{p: pkt, hash: hash, key: key})
 		bufs[si] = b
 		if len(b) == batch {

@@ -83,6 +83,26 @@ func (s Stats) Sub(prev Stats) Stats {
 	}
 }
 
+// Add returns the field-wise sum s + o — the merge operation the cluster
+// runner uses to fold per-worker cache counters into one aggregate (the
+// dual of Sub; Sharded.Stats applies the same fold across shards).
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		PHits:            s.PHits + o.PHits,
+		EHits:            s.EHits + o.EHits,
+		Misses:           s.Misses + o.Misses,
+		Inserts:          s.Inserts + o.Inserts,
+		Evictions:        s.Evictions + o.Evictions,
+		RingDrops:        s.RingDrops + o.RingDrops,
+		HostPunts:        s.HostPunts + o.HostPunts,
+		PinDenied:        s.PinDenied + o.PinDenied,
+		RowCleanups:      s.RowCleanups + o.RowCleanups,
+		CleanupEvictions: s.CleanupEvictions + o.CleanupEvictions,
+		Reads:            s.Reads + o.Reads,
+		Writes:           s.Writes + o.Writes,
+	}
+}
+
 // Processed returns the total packets processed.
 func (s Stats) Processed() uint64 { return s.PHits + s.EHits + s.Misses }
 

@@ -30,7 +30,14 @@ type Sharded struct {
 	// shift moves the flow hash's top log2(n) bits down to the shard
 	// index; 64 when n == 1 (Go defines x>>64 == 0 for uint64).
 	shift uint
-	base  Config
+	// preshift discards this many of the hash's TOP bits before shard
+	// selection (shard = hash<<preshift>>shift). Zero for a standalone
+	// cache; the cluster runner sets it to log2(Workers) so the worker
+	// index consumes the top bits and the worker-internal shard index
+	// consumes the bits directly below — reproducing exactly the
+	// per-shard flow islands of one Workers×Shards-way sharded cache.
+	preshift uint
+	base     Config
 	// pool is the persistent shard worker pool (pool.go), created lazily
 	// on the first parallel drive and reused until Close.
 	pool *workerPool
@@ -46,6 +53,18 @@ type Sharded struct {
 // least one row bit; invalid combinations panic, like New on a bad
 // Config.
 func NewSharded(n int, cfg Config, ctlCfg ControllerConfig) *Sharded {
+	return NewShardedOffset(n, 0, cfg, ctlCfg)
+}
+
+// NewShardedOffset is NewSharded with the shard-selection bits moved
+// offsetBits positions down from the top of the flow hash: shard =
+// (hash << offsetBits) >> (64 − log2(n)). offsetBits = 0 is NewSharded.
+// The cluster runner passes offsetBits = log2(Workers): the worker index
+// takes the top bits, each worker's cache takes the next log2(n) bits,
+// and together they select exactly the shard a single
+// (Workers·n)-sharded cache would — the partition-equivalence the
+// single-platform determinism oracle relies on.
+func NewShardedOffset(n, offsetBits int, cfg Config, ctlCfg ControllerConfig) *Sharded {
 	if n < 1 || n&(n-1) != 0 {
 		panic(fmt.Sprintf("flowcache: shard count %d is not a power of two >= 1", n))
 	}
@@ -53,16 +72,22 @@ func NewSharded(n int, cfg Config, ctlCfg ControllerConfig) *Sharded {
 	if cfg.RowBits-lg < 1 {
 		panic(fmt.Sprintf("flowcache: %d shards leave %d row bits (need >= 1)", n, cfg.RowBits-lg))
 	}
+	if offsetBits < 0 || offsetBits+lg > 32 {
+		// The low bits feed the row index and the Lite slice selector;
+		// 32 bits of headroom keeps shard selection well clear of both.
+		panic(fmt.Sprintf("flowcache: shard hash offset %d out of range [0,%d]", offsetBits, 32-lg))
+	}
 	if err := ctlCfg.Validate(); err != nil {
 		// Validate the raw config before normalized() repairs it: the
 		// per-shard NewController only ever sees the resolved values.
 		panic(err)
 	}
 	s := &Sharded{
-		shards: make([]*Cache, n),
-		ctls:   make([]*Controller, n),
-		shift:  uint(64 - lg),
-		base:   cfg,
+		shards:   make([]*Cache, n),
+		ctls:     make([]*Controller, n),
+		shift:    uint(64 - lg),
+		preshift: uint(offsetBits),
+		base:     cfg,
 	}
 	shardCfg := cfg
 	shardCfg.RowBits = cfg.RowBits - lg
@@ -100,7 +125,7 @@ func (s *Sharded) ShardController(i int) *Controller { return s.ctls[i] }
 // Config returns the base (unsharded) configuration.
 func (s *Sharded) Config() Config { return s.base }
 
-func (s *Sharded) shardOf(hash uint64) int { return int(hash >> s.shift) }
+func (s *Sharded) shardOf(hash uint64) int { return int(hash << s.preshift >> s.shift) }
 
 // ShardOf reports which shard owns the flow hash.
 func (s *Sharded) ShardOf(hash uint64) int { return s.shardOf(hash) }

@@ -90,6 +90,28 @@ func (s *Snapshot) Filter(prefixes ...string) *Snapshot {
 	return out
 }
 
+// AddPrefixed copies every series of o into s with the given name prefix
+// — the cluster runner's metric-tree merge: worker N's final snapshot
+// lands under "worker.N." next to the runner's own "cluster.*" series.
+// Nil receivers and nil sources are no-ops.
+func (s *Snapshot) AddPrefixed(prefix string, o *Snapshot) {
+	if s == nil || o == nil {
+		return
+	}
+	for name, v := range o.Counters {
+		s.Counters[prefix+name] = v
+	}
+	for name, v := range o.Gauges {
+		s.Gauges[prefix+name] = v
+	}
+	if len(o.Histograms) > 0 && s.Histograms == nil {
+		s.Histograms = map[string]HistogramValue{}
+	}
+	for name, v := range o.Histograms {
+		s.Histograms[prefix+name] = v
+	}
+}
+
 // Delta returns a snapshot holding the counter increments since prev
 // (absent-in-prev series keep their full value; counters never regress,
 // so the subtraction is safe). Gauges and histograms are point-in-time

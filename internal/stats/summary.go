@@ -94,6 +94,23 @@ func (q *Quantiles) Add(x float64) {
 // N returns the number of observations seen (not retained).
 func (q *Quantiles) N() int64 { return q.seen }
 
+// Merge folds another accumulator's retained samples into q — the
+// end-of-drive reduction the cluster runner uses to combine per-worker
+// latency reservoirs. Samples are re-added in o's retained order, so the
+// merge is deterministic; when the sources stayed below their reservoir
+// cap (the usual case for per-worker drives) the result is exact, and
+// beyond the cap it degrades to ordinary reservoir sampling. Observations
+// o saw but no longer retains still count toward N.
+func (q *Quantiles) Merge(o *Quantiles) {
+	if o == nil {
+		return
+	}
+	for _, x := range o.samples {
+		q.Add(x)
+	}
+	q.seen += o.seen - int64(len(o.samples))
+}
+
 // Quantile returns the p-quantile (0<=p<=1) with linear interpolation, or
 // NaN with no data.
 func (q *Quantiles) Quantile(p float64) float64 {

@@ -148,6 +148,18 @@ type BusStats struct {
 	Panics uint64
 }
 
+// Add returns the field-wise sum s + o — the merge the cluster runner
+// applies across per-worker buses when folding reports.
+func (s BusStats) Add(o BusStats) BusStats {
+	out := s
+	for i := range out.Published {
+		out.Published[i] += o.Published[i]
+	}
+	out.Delivered += o.Delivered
+	out.Panics += o.Panics
+	return out
+}
+
 // PublishedFor returns the publish count for one kind.
 func (s BusStats) PublishedFor(k Kind) uint64 {
 	if int(k) >= len(s.Published) {

@@ -18,6 +18,7 @@ package smartwatch
 import (
 	"io"
 
+	"smartwatch/internal/cluster"
 	"smartwatch/internal/core"
 	"smartwatch/internal/detect"
 	"smartwatch/internal/flowcache"
@@ -134,6 +135,58 @@ type TraceSourceConfig = trace.SourceConfig
 
 // NewTraceSource builds a synthetic-workload Source.
 func NewTraceSource(cfg TraceSourceConfig) *trace.Source { return trace.NewSource(cfg) }
+
+// Cluster (DESIGN.md §14) ----------------------------------------------------
+
+// ClusterConfig shapes a cluster runner: one shared steering tier in
+// front of N independent platform workers.
+type ClusterConfig = cluster.Config
+
+// ClusterRunner drives a cluster: consistent-hash fan-out, per-worker
+// ingress rings, epoch-folded control plane, merged reports.
+type ClusterRunner = cluster.Runner
+
+// ClusterReport is the merged cluster run summary (per-lane raw reports
+// plus the deterministic fold).
+type ClusterReport = cluster.Report
+
+// ClusterState is the runner lifecycle phase.
+type ClusterState = cluster.State
+
+// SteerPolicy selects how the shared tier routes flows to workers.
+type SteerPolicy = cluster.SteerPolicy
+
+// Steering policies.
+const (
+	// SteerHash: deterministic consistent hashing on the flow key.
+	SteerHash = cluster.SteerHash
+	// SteerLoad: hash ownership with least-loaded spill (not reproducible).
+	SteerLoad = cluster.SteerLoad
+)
+
+// ParseSteerPolicy parses "hash" or "load".
+func ParseSteerPolicy(s string) (SteerPolicy, error) { return cluster.ParseSteerPolicy(s) }
+
+// NewCluster assembles a cluster runner.
+func NewCluster(cfg ClusterConfig) *ClusterRunner { return cluster.New(cfg) }
+
+// WorkerError attributes a cluster failure to one worker lane.
+type WorkerError = cluster.WorkerError
+
+// Cluster failure and lifecycle errors.
+var (
+	// ErrWorkerStalled: a worker's ingress ring stayed full past the
+	// configured stall timeout.
+	ErrWorkerStalled = cluster.ErrWorkerStalled
+	// ErrClusterState: runner call outside its lifecycle phase.
+	ErrClusterState = cluster.ErrRunnerState
+)
+
+// SteerStats summarises the shared steering tier's fan-out.
+type SteerStats = cluster.SteerStats
+
+// IngressStats is one worker lane's queue observability.
+type IngressStats = cluster.IngressStats
 
 // FlowCache -----------------------------------------------------------------
 
