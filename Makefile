@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race shards policies pipeline cluster check bench profile experiments metrics-smoke serve-smoke clean
+.PHONY: all build vet test race shards policies pipeline cluster lowslow check bench profile experiments metrics-smoke serve-smoke clean
 
 all: check
 
@@ -63,6 +63,17 @@ policies:
 cluster:
 	$(GO) vet ./...
 	$(GO) test -race -timeout 45m ./internal/cluster/
+
+# Low-and-slow gate (DESIGN.md §15): the injector/detector suite, the
+# timing-wheel wraparound audit, the pin-budget boundary race, the
+# Lite-mode pinned-retention oracles and the platform determinism sweep
+# with the wheel-backed detector in the loop — all under the race
+# detector — then the lowslow experiment table at reduced scale.
+lowslow:
+	$(GO) vet ./...
+	$(GO) test -race -run 'LowSlow|SlowRead|SlowPost|ConnExhaust|TimingWheel|PinBudget|PinStarve|PinAge|CleanRowParks|UnpinParked|ModeChurn|UpdateStatePin' \
+		./internal/trace/ ./internal/detect/ ./internal/host/ ./internal/flowcache/ ./internal/core/
+	$(GO) run ./cmd/experiments -scale 0.25 lowslow
 
 check: vet build test race
 

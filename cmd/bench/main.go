@@ -41,11 +41,13 @@ import (
 
 	"smartwatch/internal/cluster"
 	"smartwatch/internal/core"
+	"smartwatch/internal/detect"
 	"smartwatch/internal/experiments"
 	"smartwatch/internal/flowcache"
 	"smartwatch/internal/packet"
 	"smartwatch/internal/snic"
 	"smartwatch/internal/stats"
+	"smartwatch/internal/trace"
 )
 
 // Micro is one testing.Benchmark result.
@@ -222,6 +224,36 @@ func main() {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			ash.ObserveProcess(&pkts[i&(len(pkts)-1)])
+		}
+	}))
+
+	// LowSlow detector hot path: per-SYN wheel Schedule plus the Advance
+	// cadence over a connection-accretion trace — the timing-wheel cost a
+	// deployment pays for idle-deadline tracking (ISSUE 10). One op is one
+	// packet, including its share of Tick work.
+	fmt.Fprintln(os.Stderr, "bench: lowslow detector wheel hot path ...")
+	lsPkts := packet.Collect(trace.ConnExhaust(trace.ConnExhaustConfig{
+		Seed: 9, Connections: 8192, ConnGap: 50_000,
+	}).Stream())
+	lsDet := detect.NewLowSlow(detect.LowSlowConfig{})
+	lsCache := flowcache.New(flowcache.DefaultConfig(10))
+	lsNext, lsBase := int64(0), int64(0)
+	lsSpan := lsPkts[len(lsPkts)-1].Ts + 1
+	snap.Micro["detect_lowslow_wheel"] = toMicro(testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			j := i % len(lsPkts)
+			if j == 0 && i > 0 {
+				lsBase += lsSpan // keep virtual time monotonic across passes
+			}
+			p := lsPkts[j]
+			p.Ts += lsBase
+			for p.Ts >= lsNext {
+				lsDet.Tick(lsNext)
+				lsNext += 10e6
+			}
+			rec, _ := lsCache.Process(&p)
+			lsDet.OnPacket(&p, rec, snic.Ctx{})
 		}
 	}))
 

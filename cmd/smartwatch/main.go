@@ -37,7 +37,7 @@ func main() {
 	var (
 		in          = flag.String("in", "", "input pcap trace (required unless -gen)")
 		useSwitch   = flag.Bool("switch", false, "enable the P4 switch tier (coarse queries + steering)")
-		detectors   = flag.String("detectors", "ssh,portscan,rst,incomplete,dns,worm,ssl", "comma-separated detectors: ssh,ftp,kerberos,portscan,rst,incomplete,dns,worm,ssl,microburst")
+		detectors   = flag.String("detectors", "ssh,portscan,rst,incomplete,dns,worm,ssl", "comma-separated detectors: ssh,ftp,kerberos,portscan,rst,incomplete,dns,worm,ssl,microburst,lowslow")
 		intervalMs  = flag.Int("interval", 100, "monitoring interval (virtual ms)")
 		rowBits     = flag.Int("rowbits", 14, "FlowCache rows = 2^rowbits (x12 buckets)")
 		shards      = flag.Int("shards", 1, "FlowCache shards (power of two; capacity is split, not multiplied)")
@@ -501,6 +501,8 @@ func buildDetectors(list string) ([]detect.Detector, error) {
 			out = append(out, detect.NewSSLExpiry(0))
 		case "microburst":
 			out = append(out, detect.NewMicroburst(0, 0))
+		case "lowslow":
+			out = append(out, detect.NewLowSlow(detect.LowSlowConfig{}))
 		default:
 			return nil, fmt.Errorf("unknown detector %q", name)
 		}

@@ -254,6 +254,17 @@ func New(cfg Config) *Platform {
 	}
 	pl.ports = host.NewPorts(pl.store)
 	pl.detectors = detect.NewChain(cfg.Detectors...)
+	// Detectors that drive Tick-time control-loop actions (timer unpins,
+	// blacklists) receive the platform as their Hooks — it implements
+	// detect.Hooks against the FlowCache and the switch, through the bus
+	// on the tiered pipeline and directly on the legacy one. Standalone
+	// harnesses that drive detectors without a platform keep whatever
+	// hooks their config installed.
+	for _, d := range cfg.Detectors {
+		if hd, ok := d.(interface{ SetHooks(detect.Hooks) }); ok {
+			hd.SetHooks(pl)
+		}
+	}
 	if cfg.EnableSwitch {
 		if cfg.Switch.SRAMBytes == 0 {
 			cfg.Switch = p4switch.DefaultConfig()

@@ -1,0 +1,335 @@
+package detect
+
+import (
+	"smartwatch/internal/flowcache"
+	"smartwatch/internal/host"
+	"smartwatch/internal/packet"
+	"smartwatch/internal/snic"
+)
+
+// LowSlow is the online low-and-slow detector (ROADMAP item 3): the
+// in-line replacement for the post-hoc SlowlorisOffline analytic. It
+// exploits exactly the two mechanisms the attacks target — every new TCP
+// session is pinned in the FlowCache so its record survives replacement
+// while the flow idles, and a per-flow idle deadline is scheduled on the
+// host TimingWheel at SYN time. Advance-driven expiries then confirm the
+// starvation signatures:
+//
+//   - slow-post / slowloris: an established, long-lived flow whose client
+//     keeps sending data in sub-TinyPayload slivers and never finishes.
+//   - slow-read: an established, long-lived flow whose client sends only
+//     payload-free ACK drips while the server has data outstanding.
+//   - conn-exhaust: established flows that simply go idle, accreting from
+//     one /24 against one victim until the block's idle population
+//     crosses ExhaustThreshold.
+//
+// Confirmed flows are unpinned (releasing the pin budget the attack was
+// squatting on) and their sources blacklisted through Hooks, so alerts
+// flow into the same whitelist/blacklist control loop as every other
+// in-line detector. All bookkeeping is driven by packet order and wheel
+// slot order — never map iteration — so alert emission is deterministic
+// across batch sizes and shard counts.
+type LowSlow struct {
+	alertBuf
+	cfg   LowSlowConfig
+	hooks Hooks
+	wheel *host.TimingWheel
+	flows map[packet.FlowKey]*lsFlow
+	// exhaust groups idle-established flows by (victim, source /24).
+	exhaust map[lsGroup]*lsGroupState
+
+	// counters for the experiment harness / bench
+	Pinned    uint64 // flows pinned at SYN
+	Expiries  uint64 // wheel entries examined on Advance
+	Confirmed uint64 // flows confirmed as low-and-slow
+}
+
+// LowSlowConfig parameterises the detector. The zero value selects
+// defaults tuned for the injectors' timescales.
+type LowSlowConfig struct {
+	// IdleNs is the per-flow idle deadline scheduled at SYN and re-armed
+	// while the flow stays active (default 500 ms).
+	IdleNs int64
+	// MinAgeNs is the minimum activity span before a drip signature may
+	// fire (default 1 s) — young flows get the benefit of the doubt.
+	MinAgeNs int64
+	// MinDrips is the minimum number of drip packets (tiny data segments
+	// or payload-free ACKs) before a drip signature fires (default 5).
+	MinDrips int
+	// TinyPayload is the largest payload (bytes) still counted as a drip
+	// (default 8).
+	TinyPayload int
+	// ExhaustThreshold is the idle-established flow count per
+	// (victim, /24) that confirms connection exhaustion (default 24).
+	ExhaustThreshold int
+	// WheelSlots / WheelTickNs size the idle-deadline timing wheel.
+	WheelSlots  int
+	WheelTickNs int64
+	// Hooks receives unpin/blacklist requests from Tick work.
+	Hooks Hooks
+}
+
+// lsFlow is the per-flow accumulator, keyed by canonical session key.
+type lsFlow struct {
+	client      packet.Addr // SYN sender
+	victim      packet.Addr // SYN receiver
+	firstTs     int64
+	lastTs      int64
+	established bool
+	closed      bool // FIN or RST seen: a finishing flow is not low-and-slow
+	clientData  int  // client data packets
+	clientTiny  int  // ... of which sub-TinyPayload slivers
+	clientAcks  int  // client payload-free ACKs after establishment
+	serverData  int  // server data packets
+	alerted     bool
+	scheduled   bool // a live wheel entry exists for this flow
+}
+
+// lsGroup identifies one connection-exhaustion aggregation bucket.
+type lsGroup struct {
+	victim packet.Addr
+	block  packet.Addr // source /24 base
+}
+
+type lsGroupState struct {
+	idle    int // idle-established flows seen from this group
+	alerted bool
+}
+
+// NewLowSlow builds the detector.
+func NewLowSlow(cfg LowSlowConfig) *LowSlow {
+	if cfg.IdleNs <= 0 {
+		cfg.IdleNs = 500e6
+	}
+	if cfg.MinAgeNs <= 0 {
+		cfg.MinAgeNs = 1e9
+	}
+	if cfg.MinDrips <= 0 {
+		cfg.MinDrips = 5
+	}
+	if cfg.TinyPayload <= 0 {
+		cfg.TinyPayload = 8
+	}
+	if cfg.ExhaustThreshold <= 0 {
+		cfg.ExhaustThreshold = 24
+	}
+	if cfg.WheelSlots <= 0 {
+		cfg.WheelSlots = 256
+	}
+	if cfg.WheelTickNs <= 0 {
+		cfg.WheelTickNs = cfg.IdleNs / int64(cfg.WheelSlots/8)
+	}
+	if cfg.Hooks == nil {
+		cfg.Hooks = NopHooks{}
+	}
+	return &LowSlow{
+		cfg:     cfg,
+		hooks:   cfg.Hooks,
+		wheel:   host.NewTimingWheel(cfg.WheelSlots, cfg.WheelTickNs),
+		flows:   make(map[packet.FlowKey]*lsFlow),
+		exhaust: make(map[lsGroup]*lsGroupState),
+	}
+}
+
+// SetHooks rewires the detector's control-loop hooks. The platform calls
+// this during construction so Tick-driven unpins and blacklists reach the
+// FlowCache and the switch without the caller having to thread the
+// platform into the detector config.
+func (d *LowSlow) SetHooks(h Hooks) {
+	if h != nil {
+		d.hooks = h
+	}
+}
+
+// Name implements Detector.
+func (d *LowSlow) Name() string { return "lowslow" }
+
+// Wheel exposes the idle-deadline wheel (cost reporting, tests).
+func (d *LowSlow) Wheel() *host.TimingWheel { return d.wheel }
+
+func block24(a packet.Addr) packet.Addr { return a &^ 0xff }
+
+// OnPacket implements Detector.
+func (d *LowSlow) OnPacket(p *packet.Packet, rec *flowcache.Record, _ snic.Ctx) Reaction {
+	if !p.IsTCP() {
+		return Reaction{}
+	}
+	k := p.Key()
+	f := d.flows[k]
+
+	if p.Flags.Has(packet.FlagSYN) && !p.Flags.Has(packet.FlagACK) {
+		if f == nil {
+			f = &lsFlow{
+				client: p.Tuple.SrcIP, victim: p.Tuple.DstIP,
+				firstTs: p.Ts, lastTs: p.Ts,
+			}
+			d.flows[k] = f
+		}
+		if rec != nil {
+			rec.State |= stateSYNSeen
+		}
+		if !f.scheduled {
+			f.scheduled = true
+			d.wheel.Schedule(k.Hash(), p.Ts+d.cfg.IdleNs, k)
+		}
+		d.Pinned++
+		// Pin at SYN: the record must survive replacement while the flow
+		// plays dead — that longevity is the detection signal.
+		return Reaction{Pin: true, ExtraCycles: 30}
+	}
+	if f == nil {
+		return Reaction{ExtraCycles: 5}
+	}
+
+	fromClient := p.Tuple.SrcIP == f.client
+	wasEstablished := f.established
+	switch {
+	case p.Flags.Has(packet.FlagFIN) || p.Flags.Has(packet.FlagRST):
+		f.closed = true
+	case p.Flags.Has(packet.FlagSYN): // SYN-ACK
+		if rec != nil {
+			rec.State |= stateSYNACKSeen
+		}
+	case p.Flags.Has(packet.FlagACK) && !wasEstablished && fromClient:
+		f.established = true
+		if rec != nil {
+			rec.State |= stateEstablished
+		}
+	}
+	if p.PayloadLen > 0 {
+		if rec != nil {
+			rec.State |= stateDataSeen
+		}
+		if fromClient {
+			f.clientData++
+			if int(p.PayloadLen) <= d.cfg.TinyPayload {
+				f.clientTiny++
+			}
+		} else {
+			f.serverData++
+		}
+	} else if fromClient && wasEstablished && p.Flags.Has(packet.FlagACK) {
+		f.clientAcks++
+	}
+	f.lastTs = p.Ts
+	return Reaction{ExtraCycles: 8}
+}
+
+// Tick advances the idle wheel and classifies every expired flow — the
+// Advance-driven confirmation pass.
+func (d *LowSlow) Tick(now int64) {
+	if now < d.wheel.Now() {
+		// Ticks can arrive from more than one cadence source (packet-driven
+		// and wall-driven); a stale one is a no-op, not a panic.
+		return
+	}
+	for _, e := range d.wheel.Advance(now) {
+		d.Expiries++
+		k := e.Payload.(packet.FlowKey)
+		f := d.flows[k]
+		if f == nil {
+			continue
+		}
+		f.scheduled = false
+
+		if f.closed || f.alerted {
+			// Finished (or already confirmed) flows leave the tracker.
+			delete(d.flows, k)
+			continue
+		}
+		if !f.established {
+			// Half-open and idle: not this detector's attack (a SYN flood
+			// trips volumetric counters instead). Release the pin.
+			d.hooks.Unpin(k)
+			delete(d.flows, k)
+			continue
+		}
+
+		if f.lastTs+d.cfg.IdleNs <= e.Deadline {
+			// Established and idle for a full deadline: connection
+			// accretion. Count it against its (victim, /24) group.
+			d.expireIdle(k, f, e.Deadline)
+			continue
+		}
+
+		// Still active: check the drip signatures, then re-arm.
+		if d.classifyDrip(k, f, e.Deadline) {
+			continue
+		}
+		f.scheduled = true
+		d.wheel.Schedule(k.Hash(), f.lastTs+d.cfg.IdleNs, k)
+	}
+}
+
+// classifyDrip fires the slow-post/slow-read signatures on a long-lived
+// active flow. Returns true when the flow was confirmed and removed.
+func (d *LowSlow) classifyDrip(k packet.FlowKey, f *lsFlow, now int64) bool {
+	if f.lastTs-f.firstTs < d.cfg.MinAgeNs {
+		return false
+	}
+	switch {
+	case f.clientTiny >= d.cfg.MinDrips && f.clientData-f.clientTiny <= 1:
+		// Every client data segment after (at most) one header is a
+		// sliver: slow-post (or slowloris — header trickles look identical
+		// on the wire; both hold a worker).
+		d.confirm(k, f, now, "slow-post",
+			"byte-at-a-time request body under the rate threshold")
+		return true
+	case f.clientAcks >= d.cfg.MinDrips && f.serverData > 0 && f.clientData <= 1:
+		// The client only ever dribbles window updates against server
+		// data: slow-read.
+		d.confirm(k, f, now, "slow-read",
+			"receive-window drip against outstanding server data")
+		return true
+	}
+	return false
+}
+
+// expireIdle books an idle-established flow against its exhaustion group
+// and confirms the group once it crosses the threshold.
+func (d *LowSlow) expireIdle(k packet.FlowKey, f *lsFlow, now int64) {
+	g := lsGroup{victim: f.victim, block: block24(f.client)}
+	gs := d.exhaust[g]
+	if gs == nil {
+		gs = &lsGroupState{}
+		d.exhaust[g] = gs
+	}
+	gs.idle++
+	switch {
+	case gs.alerted:
+		// The block is already condemned: every further idle flow from it
+		// is confirmed immediately.
+		d.confirm(k, f, now, "conn-exhaust", "idle flow from blacklisted /24")
+	case gs.idle >= d.cfg.ExhaustThreshold:
+		gs.alerted = true
+		d.Confirmed++
+		d.emit(Alert{
+			Detector: "conn-exhaust", Ts: now,
+			Attacker: g.block, Victim: g.victim, Flow: k,
+			Info: "sustained sub-threshold connection accretion from /24",
+		})
+		d.hooks.Blacklist(f.client)
+		d.hooks.Unpin(k)
+		delete(d.flows, k)
+	default:
+		// Below threshold: release the pin (the flow stays observable via
+		// its record if it wakes) but keep the accumulator out of the
+		// table — an idle benign flow must not hold budget forever.
+		d.hooks.Unpin(k)
+		delete(d.flows, k)
+	}
+}
+
+// confirm emits the alert and pushes the control-loop reactions.
+func (d *LowSlow) confirm(k packet.FlowKey, f *lsFlow, now int64, label, info string) {
+	f.alerted = true
+	d.Confirmed++
+	d.emit(Alert{
+		Detector: label, Ts: now,
+		Attacker: f.client, Victim: f.victim, Flow: k,
+		Info: info,
+	})
+	d.hooks.Blacklist(f.client)
+	d.hooks.Unpin(k)
+	delete(d.flows, k)
+}

@@ -35,6 +35,7 @@ func Registry() []Exp {
 		{"fig11a", Fig11aMicroburst},
 		{"fig11b", Fig11bThroughput},
 		{"cluster", ClusterScaling},
+		{"lowslow", LowSlowSuite},
 		{"policies", PoliciesTable},
 		{"shards", ShardedScaling},
 		{"table2", Table2Resources},

@@ -22,6 +22,7 @@ const batchChunk = 64
 type BatchAcc struct {
 	PHits, EHits, Misses, HostPunts uint64
 	RowCleanups, CleanupEvictions   uint64
+	StarveEvictions, PinAgeExpired  uint64
 	Reads, Writes                   uint64
 }
 
@@ -41,6 +42,12 @@ func (a *BatchAcc) add(res *Result) {
 	if res.RowCleaned {
 		a.RowCleanups++
 		a.CleanupEvictions += uint64(res.CleanupEvicted)
+	}
+	if res.StarveEvicted {
+		a.StarveEvictions++
+	}
+	if res.PinAged > 0 {
+		a.PinAgeExpired += uint64(res.PinAged)
 	}
 	a.Reads += uint64(res.Reads)
 	a.Writes += uint64(res.Writes)
@@ -63,6 +70,8 @@ func (c *Cache) FlushAcc(acc *BatchAcc) {
 	sh.pinDenied.Add(acc.HostPunts)
 	sh.rowCleanups.Add(acc.RowCleanups)
 	sh.cleanupEvictions.Add(acc.CleanupEvictions)
+	sh.starveEvictions.Add(acc.StarveEvictions)
+	sh.pinAgeExpired.Add(acc.PinAgeExpired)
 	sh.reads.Add(acc.Reads)
 	sh.writes.Add(acc.Writes)
 	*acc = BatchAcc{}

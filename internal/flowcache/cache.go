@@ -45,6 +45,15 @@ type Cache struct {
 type row struct {
 	latch atomic.Int32
 	dirty bool // needs Alg-3 reorder before Lite probing; guarded by latch
+	// parked counts pinned records parked outside their own Lite slice by
+	// cleanRow (slice overflow during a General->Lite switch: pinned
+	// records are never evicted, so the overflow is stashed in whichever
+	// buckets the reorder left free). While parked > 0, Lite-mode probes
+	// that miss their slice fall back to a full-row scan so the parked
+	// records stay reachable. Guarded by the latch; recomputed from
+	// scratch by every cleanRow, so it may only over-count between
+	// cleanups (costing reads, never reachability).
+	parked int
 	// buckets[0:P] is the Primary buffer, buckets[P:B] the Eviction buffer
 	// in General mode; Lite mode probes a b-wide slice (Alg. 1).
 	buckets []Record
@@ -66,8 +75,9 @@ type statShard struct {
 	evictions, ringDrops, hostPunts atomic.Uint64
 	pinDenied, rowCleanups          atomic.Uint64
 	cleanupEvictions                atomic.Uint64
+	starveEvictions, pinAgeExpired  atomic.Uint64
 	reads, writes                   atomic.Uint64
-	_                               [32]byte
+	_                               [16]byte
 }
 
 // statCounters is the sharded counter set; Stats() sums across shards.
@@ -264,6 +274,23 @@ func (c *Cache) processHashed(p *packet.Packet, hash uint64, key packet.FlowKey,
 		return rec
 	}
 
+	// Lite slice missed, but cleanRow parked pinned overflow outside the
+	// slice: scan the rest of the row before declaring a miss, or the
+	// parked record's flow would re-insert as a duplicate and its pinned
+	// state would go dark (the Lite-mode state-loss bug).
+	if mode == Lite && rw.parked > 0 {
+		if rec := c.probeOutside(rw, hash, key, lo, hi, res); rec != nil {
+			rec.update(p)
+			if c.kind != kindBuffers {
+				c.onHit(rec, BufferP)
+			}
+			res.Outcome = PHit
+			res.Writes++
+			rw.release()
+			return rec
+		}
+	}
+
 	rec := c.insert(rw, hash, key, p, lo, pEnd, hi, res)
 	if rec == nil {
 		if c.fb.track {
@@ -301,6 +328,12 @@ func (c *Cache) applyStats(hash uint64, res *Result) {
 		sh.rowCleanups.Add(1)
 		sh.cleanupEvictions.Add(uint64(res.CleanupEvicted))
 	}
+	if res.StarveEvicted {
+		sh.starveEvictions.Add(1)
+	}
+	if res.PinAged > 0 {
+		sh.pinAgeExpired.Add(uint64(res.PinAged))
+	}
 	sh.finish(res)
 }
 
@@ -314,6 +347,23 @@ func (c *Cache) probe(rw *row, hash uint64, key packet.FlowKey, lo, hi int, res 
 		}
 	}
 	return nil, -1
+}
+
+// probeOutside scans the row's buckets OUTSIDE [lo,hi) for the key — the
+// Lite-mode fallback that keeps cleanRow-parked records reachable. Reads
+// are billed like any probe; the fallback only runs while row.parked > 0.
+func (c *Cache) probeOutside(rw *row, hash uint64, key packet.FlowKey, lo, hi int, res *Result) *Record {
+	for i := range rw.buckets {
+		if i >= lo && i < hi {
+			continue
+		}
+		rec := &rw.buckets[i]
+		res.Reads++
+		if rec.occupied && rec.Hash == hash && rec.Key == key {
+			return rec
+		}
+	}
+	return nil
 }
 
 // update applies one packet to the record (the hardware's atomic-add path).
@@ -386,10 +436,23 @@ func (c *Cache) insert(rw *row, hash uint64, key packet.FlowKey, p *packet.Packe
 	}
 
 	pIdx := c.victimP(rw, lo, pEnd, res)
+	if pIdx == -1 && c.cfg.PinAgeNs > 0 {
+		// Aging path: before giving up on P, reclaim pins that sat idle
+		// past the age bound, then retry victim selection.
+		if c.agePins(rw, lo, pEnd, p.Ts, res) > 0 {
+			pIdx = c.victimP(rw, lo, pEnd, res)
+		}
+	}
 	if pIdx == -1 {
 		// All of P pinned; try to land directly in E.
 		if pEnd < hi {
-			if eIdx := c.victimE(rw, pEnd, hi, res); eIdx != -1 {
+			eIdx := c.victimE(rw, pEnd, hi, res)
+			if eIdx == -1 && c.cfg.PinAgeNs > 0 {
+				if c.agePins(rw, pEnd, hi, p.Ts, res) > 0 {
+					eIdx = c.victimE(rw, pEnd, hi, res)
+				}
+			}
+			if eIdx != -1 {
 				c.evictOccupied(rw, eIdx, res)
 				rw.buckets[eIdx] = newRec
 				res.Writes++
@@ -397,6 +460,22 @@ func (c *Cache) insert(rw *row, hash uint64, key packet.FlowKey, p *packet.Packe
 					c.fb.occupied.Add(1)
 				}
 				return &rw.buckets[eIdx]
+			}
+		}
+		if c.cfg.PinStarveEvict {
+			// Pin-starvation escape valve: every candidate is pinned, so a
+			// punt storm is forming. Evict the stalest pin to the rings —
+			// the host inherits its state via the normal eviction path —
+			// and serve the insert instead of punting.
+			if sIdx := c.stalestPinned(rw, lo, hi, res); sIdx != -1 {
+				c.evictOccupied(rw, sIdx, res)
+				res.StarveEvicted = true
+				rw.buckets[sIdx] = newRec
+				res.Writes++
+				if c.fb.track {
+					c.fb.occupied.Add(1)
+				}
+				return &rw.buckets[sIdx]
 			}
 		}
 		// Caller counts pinDenied from the HostPunt outcome.
@@ -439,9 +518,63 @@ func (c *Cache) evictOccupied(rw *row, idx int, res *Result) {
 	}
 	out := *rec
 	rec.occupied = false
+	c.noteRemoval(rw, out.Hash, idx)
 	c.pushRing(out)
 	res.Writes++
 	res.Evicted = true
+}
+
+// agePins strips the pin from occupied candidates in [lo,hi) whose LastTs
+// is at least Config.PinAgeNs behind now, returning how many it reclaimed
+// (also accumulated into res.PinAged for stat accounting). Called only
+// when victim selection starved, so it never costs the unstarved path.
+func (c *Cache) agePins(rw *row, lo, hi int, now int64, res *Result) int {
+	aged := 0
+	for i := lo; i < hi; i++ {
+		rec := &rw.buckets[i]
+		res.Reads++
+		if rec.occupied && rec.Pinned && now-rec.LastTs >= c.cfg.PinAgeNs {
+			rec.Pinned = false
+			aged++
+			if c.fb.track {
+				c.fb.pinned.Add(-1)
+			}
+		}
+	}
+	res.PinAged += aged
+	return aged
+}
+
+// stalestPinned picks the pinned occupied record with the smallest LastTs
+// in [lo,hi) — the pin-starvation eviction victim.
+func (c *Cache) stalestPinned(rw *row, lo, hi int, res *Result) int {
+	victim := -1
+	for i := lo; i < hi; i++ {
+		rec := &rw.buckets[i]
+		res.Reads++
+		if !rec.occupied || !rec.Pinned {
+			continue
+		}
+		if victim == -1 || rec.LastTs < rw.buckets[victim].LastTs {
+			victim = i
+		}
+	}
+	return victim
+}
+
+// noteRemoval maintains row.parked: when a record sitting outside its own
+// Lite slice leaves the table, the out-of-slice population shrinks. The
+// counter is only consulted by Lite-mode probes and recomputed from
+// scratch by every cleanRow, so a stale decrement while the cache runs in
+// General mode is harmless. Callers hold the row latch.
+func (c *Cache) noteRemoval(rw *row, hash uint64, idx int) {
+	if rw.parked == 0 {
+		return
+	}
+	lo, hi := c.liteSlice(hash)
+	if idx < lo || idx >= hi {
+		rw.parked--
+	}
 }
 
 // pushRing delivers an evicted record to its ring, counting overflow
@@ -489,21 +622,50 @@ func (c *Cache) Pin(key packet.FlowKey) bool { return c.setPinned(key, true) }
 func (c *Cache) Unpin(key packet.FlowKey) bool { return c.setPinned(key, false) }
 
 func (c *Cache) setPinned(key packet.FlowKey, v bool) bool {
-	ok := false
-	c.UpdateState(key, func(rec *Record) {
-		if v && !rec.Pinned && c.fb.track {
+	hash := key.Hash()
+	rw := &c.rows[c.rowIndex(hash)]
+	rw.acquire()
+	defer rw.release()
+	for i := range rw.buckets {
+		rec := &rw.buckets[i]
+		if !rec.occupied || rec.Hash != hash || rec.Key != key {
+			continue
+		}
+		switch {
+		case v && !rec.Pinned:
 			// Pin-budget admission (adaptive controller feedback loop):
 			// refuse new pins once the live pinned population reaches the
-			// budget. 0 means unlimited — the seed behaviour.
-			if b := c.fb.pinBudget.Load(); b > 0 && c.fb.pinned.Load() >= b {
-				c.fb.pinRefused.Add(1)
-				return
+			// budget; 0 means unlimited — the seed behaviour. The slot is
+			// reserved with a CAS so concurrent pins on different rows
+			// cannot both pass a load/compare and overshoot the budget,
+			// and a refused pin never touches the counter — closing the
+			// over-refuse/double-count window the old compensating-add
+			// scheme had under the parallel shard drive.
+			if c.fb.track && !c.fb.reservePin() {
+				return false
+			}
+			rec.Pinned = true
+		case !v && rec.Pinned:
+			rec.Pinned = false
+			if c.fb.track {
+				c.fb.pinned.Add(-1)
+			}
+			if c.Mode() == Lite && rw.parked > 0 {
+				// An unpinned record parked outside its Lite slice would
+				// become unreachable once the parked survivors drain (the
+				// fallback probe stops). Hand it to the host through the
+				// rings instead of leaving dark state in the table.
+				if lo, hi := c.liteSlice(rec.Hash); i < lo || i >= hi {
+					out := *rec
+					rec.occupied = false
+					rw.parked--
+					c.pushRing(out)
+				}
 			}
 		}
-		rec.Pinned = v
-		ok = true
-	})
-	return ok
+		return true
+	}
+	return false
 }
 
 // UpdateState runs fn on the flow's record under the row latch, for
@@ -551,6 +713,7 @@ func (c *Cache) Evict(key packet.FlowKey) bool {
 		if rec.occupied && rec.Hash == hash && rec.Key == key {
 			out := *rec
 			rec.occupied = false
+			c.noteRemoval(rw, out.Hash, i)
 			c.pushRing(out)
 			return true
 		}
@@ -602,6 +765,8 @@ func (c *Cache) Stats() Stats {
 		out.PinDenied += sh.pinDenied.Load()
 		out.RowCleanups += sh.rowCleanups.Load()
 		out.CleanupEvictions += sh.cleanupEvictions.Load()
+		out.StarveEvictions += sh.starveEvictions.Load()
+		out.PinAgeExpired += sh.pinAgeExpired.Load()
 		out.Reads += sh.reads.Load()
 		out.Writes += sh.writes.Load()
 	}

@@ -72,8 +72,15 @@ func (c *Cache) CleanRowsBounded(maxRows int) int {
 // record sits inside the Lite-mode slice its hash selects (Alg. 1). The
 // first packet that touches a dirty row performs this lazily while holding
 // the row latch. Collisions beyond a slice's capacity keep the most
-// recently updated records (pinned entries always survive) and evict the
-// oldest to the rings.
+// recently updated records and evict the oldest to the rings — except
+// pinned records, which NEVER evict here: a pin is a detector's promise
+// that the flow's state must survive replacement, and a low-and-slow flow
+// is exactly the quiet long-lived record an LRU reorder would shed.
+// When a slice holds more pinned records than its width b, the overflow
+// is parked in whatever buckets the reorder leaves free elsewhere in the
+// row (it always fits — every record came from this row) and row.parked
+// makes the Lite probe path fall back to a full-row scan until the
+// parked population drains.
 //
 // It returns the number of records evicted during the reorder. The caller
 // holds the row latch.
@@ -93,31 +100,53 @@ func (c *Cache) cleanRow(rw *row) int {
 		bins[s] = append(bins[s], *rec)
 		rec.occupied = false
 	}
+	rw.parked = 0
 
 	evicted := 0
+	var parked []Record
 	for s, entries := range bins {
-		// Keep the b most recently updated (pinned entries take priority);
-		// evict the rest — the GetOldest loop of Alg. 3.
+		// Evict the oldest UNPINNED records until the slice fits — the
+		// GetOldest loop of Alg. 3. If only pinned records remain and the
+		// slice still overflows, the overflow parks instead of evicting.
 		for len(entries) > b {
-			oldest := 0
-			for i := 1; i < len(entries); i++ {
-				switch {
-				case entries[oldest].Pinned && !entries[i].Pinned:
-					oldest = i
-				case !entries[oldest].Pinned && entries[i].Pinned:
-					// keep current oldest candidate
-				case entries[i].LastTs < entries[oldest].LastTs:
+			oldest := -1
+			for i := range entries {
+				if entries[i].Pinned {
+					continue
+				}
+				if oldest == -1 || entries[i].LastTs < entries[oldest].LastTs {
 					oldest = i
 				}
+			}
+			if oldest == -1 {
+				break // all pinned: park the overflow below
 			}
 			c.pushRing(entries[oldest])
 			evicted++
 			entries[oldest] = entries[len(entries)-1]
 			entries = entries[:len(entries)-1]
 		}
+		if len(entries) > b {
+			parked = append(parked, entries[b:]...)
+			entries = entries[:b]
+		}
 		lo := s * b
 		for i, rec := range entries {
 			rw.buckets[lo+i] = rec
+		}
+	}
+
+	// Park pinned overflow in the free buckets the reorder left behind.
+	// Capacity argument: the row held at most B records, each slice keeps
+	// at most b in place, so free buckets >= len(parked).
+	if len(parked) > 0 {
+		j := 0
+		for i := 0; i < B && j < len(parked); i++ {
+			if !rw.buckets[i].occupied {
+				rw.buckets[i] = parked[j]
+				j++
+				rw.parked++
+			}
 		}
 	}
 	return evicted

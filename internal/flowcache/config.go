@@ -93,6 +93,23 @@ type Config struct {
 	Rings int
 	// RingEntries is the capacity of each ring. Paper: 64K.
 	RingEntries int
+	// PinStarveEvict enables the pin-starvation escape valve: when every
+	// candidate bucket for an insert is pinned (the all-pinned punt storm
+	// a ConnExhaust attack manufactures), the stalest pinned candidate is
+	// evicted to the host rings and the new flow inserted in its place,
+	// instead of punting the packet. The evicted record reaches the host
+	// through the normal ring path, so no state is lost — the detector
+	// continues on the host side. Off by default: the seed punts, and the
+	// determinism goldens depend on that unless a config opts in.
+	PinStarveEvict bool
+	// PinAgeNs, when positive, bounds how long an idle record can hold
+	// its pin against the insert path: an insert that finds every
+	// candidate pinned first strips the pin from candidates whose LastTs
+	// is at least PinAgeNs stale (relative to the inserting packet's
+	// timestamp), then retries victim selection. This is the aging path
+	// that keeps ConnExhaust flows from holding pins forever behind the
+	// pinBudget refusal gate. 0 disables aging (seed behaviour).
+	PinAgeNs int64
 }
 
 // DefaultConfig returns the paper's flagship General (4,8) configuration
@@ -130,6 +147,9 @@ func (c Config) Validate() error {
 	}
 	if c.Rings < 1 || c.RingEntries < 1 {
 		return fmt.Errorf("flowcache: need at least one ring with capacity")
+	}
+	if c.PinAgeNs < 0 {
+		return fmt.Errorf("flowcache: PinAgeNs %d must be >= 0", c.PinAgeNs)
 	}
 	if c.PolicyP > FIFO || c.PolicyE > FIFO {
 		return fmt.Errorf("flowcache: unknown comparator policy (%d,%d); valid: lru=0 lpc=1 fifo=2", c.PolicyP, c.PolicyE)

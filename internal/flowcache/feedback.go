@@ -33,11 +33,37 @@ type feedback struct {
 	pinRefused atomic.Uint64
 }
 
+// reservePin atomically claims one slot of the pin budget: it increments
+// pinned only when the increment provably keeps the population within
+// pinBudget (0 = unlimited). The CAS loop makes the check-and-increment a
+// single step, so concurrent pins on different rows can neither overshoot
+// the budget (two loads both seeing budget-1) nor leak counts through a
+// compensating decrement. A refusal is counted and leaves pinned
+// untouched.
+func (f *feedback) reservePin() bool {
+	for {
+		cur := f.pinned.Load()
+		if b := f.pinBudget.Load(); b > 0 && cur >= b {
+			f.pinRefused.Add(1)
+			return false
+		}
+		if f.pinned.CompareAndSwap(cur, cur+1) {
+			return true
+		}
+	}
+}
+
 // enableFeedback turns the feedback counters on. It must be called
 // before the first Process — the gate is an unsynchronised bool, and
 // counters enabled mid-stream would start from a stale occupancy.
 // Controller attachment with an adaptive config calls this.
 func (c *Cache) enableFeedback() { c.fb.track = true }
+
+// EnableFeedback turns the live feedback counters on for standalone
+// harnesses (experiments, benchmarks) that want pin budgets or live
+// occupancy without attaching an adaptive controller. Like the internal
+// path, it must be called before the first Process.
+func (c *Cache) EnableFeedback() { c.enableFeedback() }
 
 // FeedbackEnabled reports whether the live feedback counters are active.
 func (c *Cache) FeedbackEnabled() bool { return c.fb.track }

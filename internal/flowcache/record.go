@@ -58,6 +58,15 @@ type Stats struct {
 	RowCleanups uint64
 	// CleanupEvictions counts records evicted during row cleanup.
 	CleanupEvictions uint64
+	// StarveEvictions counts pinned records force-evicted by the
+	// pin-starvation escape valve (Config.PinStarveEvict): inserts that
+	// would have punted because every candidate was pinned, served
+	// instead by evicting the stalest pin to the rings.
+	StarveEvictions uint64
+	// PinAgeExpired counts pins stripped by the aging path
+	// (Config.PinAgeNs): records whose pin was reclaimed because they
+	// sat idle past the age bound while the insert path was starving.
+	PinAgeExpired uint64
 	// Reads / Writes are abstract memory operations, converted to cycles
 	// by the sNIC simulator (reads yield the thread, writes stall).
 	Reads, Writes uint64
@@ -78,6 +87,8 @@ func (s Stats) Sub(prev Stats) Stats {
 		PinDenied:        s.PinDenied - prev.PinDenied,
 		RowCleanups:      s.RowCleanups - prev.RowCleanups,
 		CleanupEvictions: s.CleanupEvictions - prev.CleanupEvictions,
+		StarveEvictions:  s.StarveEvictions - prev.StarveEvictions,
+		PinAgeExpired:    s.PinAgeExpired - prev.PinAgeExpired,
 		Reads:            s.Reads - prev.Reads,
 		Writes:           s.Writes - prev.Writes,
 	}
@@ -98,6 +109,8 @@ func (s Stats) Add(o Stats) Stats {
 		PinDenied:        s.PinDenied + o.PinDenied,
 		RowCleanups:      s.RowCleanups + o.RowCleanups,
 		CleanupEvictions: s.CleanupEvictions + o.CleanupEvictions,
+		StarveEvictions:  s.StarveEvictions + o.StarveEvictions,
+		PinAgeExpired:    s.PinAgeExpired + o.PinAgeExpired,
 		Reads:            s.Reads + o.Reads,
 		Writes:           s.Writes + o.Writes,
 	}
@@ -162,4 +175,10 @@ type Result struct {
 	// the batch path's accumulator depends on every counter except the
 	// ring-occupancy pair being derivable from the Result alone.
 	CleanupEvicted int
+	// StarveEvicted is set when the insert displaced a pinned record via
+	// the pin-starvation escape valve (Config.PinStarveEvict).
+	StarveEvicted bool
+	// PinAged is the number of pins stripped by the aging path
+	// (Config.PinAgeNs) while this insert was starving.
+	PinAged int
 }

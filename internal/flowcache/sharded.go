@@ -261,6 +261,8 @@ func (s *Sharded) Stats() Stats {
 		t.PinDenied += st.PinDenied
 		t.RowCleanups += st.RowCleanups
 		t.CleanupEvictions += st.CleanupEvictions
+		t.StarveEvictions += st.StarveEvictions
+		t.PinAgeExpired += st.PinAgeExpired
 		t.Reads += st.Reads
 		t.Writes += st.Writes
 	}

@@ -11,13 +11,12 @@ import "fmt"
 // Entries carry an opaque payload and a caller-chosen 64-bit key for
 // cancellation and scanning. Time is virtual nanoseconds.
 type TimingWheel struct {
-	slots    []wheelSlot
-	tickNs   int64
-	now      int64 // start of current tick
-	cursor   int
-	size     int
-	scans    uint64 // entries examined by Scan (the cost Fig. 8b measures)
-	overflow []wheelEntry
+	slots  []wheelSlot
+	tickNs int64
+	now    int64 // start of current tick
+	cursor int
+	size   int
+	scans  uint64 // entries examined by Scan (the cost Fig. 8b measures)
 }
 
 type wheelSlot struct {
@@ -53,12 +52,22 @@ func NewTimingWheel(slots int, tickNs int64) *TimingWheel {
 func (w *TimingWheel) Len() int { return w.size }
 
 // Schedule buffers a payload until deadline (virtual ns). Deadlines in the
-// past expire on the next Advance.
+// past (or at/before the current tick start) expire on the next Advance.
+// Deadlines beyond one revolution ride the rounds counter — they are never
+// silently misplaced, and never fire before an Advance that reaches them.
 func (w *TimingWheel) Schedule(key uint64, deadline int64, payload interface{}) error {
 	if deadline < w.now {
 		deadline = w.now
 	}
-	ticksAhead := (deadline - w.now) / w.tickNs
+	// A deadline belongs to the tick during which it elapses: the tick
+	// covering (w.now + k*tickNs, w.now + (k+1)*tickNs] maps to offset k.
+	// The -1 keeps a deadline that lands exactly on a tick boundary in the
+	// tick that ENDS there — plain division would place it one slot later
+	// and fire it a full tick after it was due.
+	ticksAhead := (deadline - w.now - 1) / w.tickNs
+	if ticksAhead < 0 {
+		ticksAhead = 0 // deadline == w.now: fire on the next tick
+	}
 	slot := (w.cursor + int(ticksAhead)) % len(w.slots)
 	rounds := int(ticksAhead) / len(w.slots)
 	w.slots[slot].entries = append(w.slots[slot].entries, wheelEntry{

@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"testing"
+
+	"smartwatch/internal/packet"
+)
+
+func TestSlowReadInjector(t *testing.T) {
+	inj := SlowRead(SlowReadConfig{Seed: 7, Connections: 10, DripGap: 50e6, Duration: 1e9})
+	pkts := checkStream(t, inj)
+	truth := inj.Truth()
+	if truth.Label != "slow-read" || len(truth.Attackers) != 1 || len(truth.Flows) != 10 {
+		t.Fatalf("truth = %+v", truth)
+	}
+	attacker := truth.Attackers[0]
+	var drips, fins int
+	for _, p := range pkts {
+		if p.Flags.Has(packet.FlagFIN) {
+			fins++
+		}
+		// The drip is payload-free pure ACKs from the attacker.
+		if p.Tuple.SrcIP == attacker && p.Flags == packet.FlagACK && p.PayloadLen == 0 && p.Size == 64 {
+			drips++
+		}
+	}
+	if fins != 0 {
+		t.Errorf("slow-read connections must never close; saw %d FINs", fins)
+	}
+	if drips < 10 {
+		t.Errorf("expected a sustained ACK drip, saw %d", drips)
+	}
+}
+
+func TestSlowPostInjector(t *testing.T) {
+	inj := SlowPost(SlowPostConfig{Seed: 7, Connections: 8, ByteGap: 50e6, Duration: 1e9})
+	pkts := checkStream(t, inj)
+	truth := inj.Truth()
+	if truth.Label != "slow-post" || len(truth.Flows) != 8 {
+		t.Fatalf("truth = %+v", truth)
+	}
+	var oneByte int
+	for _, p := range pkts {
+		if p.Flags.Has(packet.FlagFIN) {
+			t.Fatal("slow-post connections must never close")
+		}
+		if p.PayloadLen == 1 {
+			oneByte++
+		}
+	}
+	if oneByte < 8 {
+		t.Errorf("expected byte-at-a-time body segments, saw %d", oneByte)
+	}
+}
+
+func TestConnExhaustInjector(t *testing.T) {
+	inj := ConnExhaust(ConnExhaustConfig{Seed: 7, Connections: 300, ConnGap: 5e6})
+	pkts := checkStream(t, inj)
+	truth := inj.Truth()
+	if truth.Label != "conn-exhaust" || len(truth.Flows) != 300 {
+		t.Fatalf("truth = %+v", truth)
+	}
+	// 300 connections rotate through 254 hosts: 254 distinct attackers.
+	if len(truth.Attackers) != 254 {
+		t.Fatalf("expected 254 rotating /24 sources, got %d", len(truth.Attackers))
+	}
+	block := truth.Attackers[0] &^ 0xff
+	syns, finsOrRsts := 0, 0
+	for _, p := range pkts {
+		if p.Flags == packet.FlagSYN {
+			syns++
+			if p.Tuple.SrcIP&^0xff != block {
+				t.Fatalf("SYN from outside the /24: %s", p.Tuple.SrcIP)
+			}
+		}
+		if p.Flags.Has(packet.FlagFIN) || p.Flags.Has(packet.FlagRST) {
+			finsOrRsts++
+		}
+	}
+	if syns != 300 {
+		t.Errorf("expected one SYN per connection, got %d", syns)
+	}
+	if finsOrRsts != 0 {
+		t.Errorf("accreted connections must stay open; saw %d closes", finsOrRsts)
+	}
+	// Every connection completes its handshake — this is accretion, not a
+	// SYN flood — so SYN-ACK count matches SYN count.
+	synacks := 0
+	for _, p := range pkts {
+		if p.Flags == packet.FlagSYN|packet.FlagACK {
+			synacks++
+		}
+	}
+	if synacks != syns {
+		t.Errorf("handshakes incomplete: %d SYNs vs %d SYN-ACKs", syns, synacks)
+	}
+}
